@@ -1,0 +1,74 @@
+// Command semplar-bench regenerates the paper's figures on the simulated
+// testbeds and prints the series in tabular form.
+//
+// Usage:
+//
+//	semplar-bench [-fig 6|7|8|9|contention|all] [-scale N] [-quick] [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semplar/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, contention, all")
+	scale := flag.Float64("scale", 10, "testbed acceleration factor")
+	quick := flag.Bool("quick", false, "small problem sizes and short sweeps")
+	trials := flag.Int("trials", 1, "timed trials per point (minimum kept)")
+	csvPath := flag.String("csv", "", "also append every series to this CSV file")
+	flag.Parse()
+
+	opt := harness.Options{Scale: *scale, Quick: *quick, Trials: *trials}
+	runners := map[string]func(harness.Options) (*harness.Figure, error){
+		"6":          harness.RunFig6,
+		"7":          harness.RunFig7,
+		"8":          harness.RunFig8,
+		"9":          harness.RunFig9,
+		"contention": harness.RunBusContention,
+	}
+	order := []string{"6", "7", "8", "9", "contention"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			if _, ok := runners[f]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open csv: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	for _, f := range selected {
+		result, err := runners[f](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s failed: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Println(result.Render())
+		if csvOut != nil {
+			if _, err := csvOut.WriteString(result.CSV()); err != nil {
+				fmt.Fprintf(os.Stderr, "write csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command srbd runs a standalone SRB storage server over TCP: the
+// simulated counterpart of the SDSC server (orion.sdsc.edu) that SEMPLAR
+// clients connect to.
+//
+// Usage:
+//
+//	srbd [-listen :5544] [-root DIR] [-read-mbps N] [-write-mbps N]
+//
+// With -root the server persists objects under DIR; otherwise it serves
+// from memory. The rate flags emulate the storage device's sustained
+// bandwidth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+func main() {
+	listen := flag.String("listen", ":5544", "TCP listen address")
+	root := flag.String("root", "", "persist objects under this directory (default: in-memory)")
+	readMBps := flag.Float64("read-mbps", 0, "device read bandwidth in MiB/s (0 = unlimited)")
+	writeMBps := flag.Float64("write-mbps", 0, "device write bandwidth in MiB/s (0 = unlimited)")
+	statsEvery := flag.Duration("stats", 0, "print server stats at this interval (0 = off)")
+	flag.Parse()
+
+	var store storage.Store
+	kind := "memory"
+	if *root != "" {
+		fs, err := storage.NewFileStore(*root)
+		if err != nil {
+			log.Fatalf("srbd: open store %s: %v", *root, err)
+		}
+		store = fs
+		kind = "disk"
+	} else {
+		store = storage.NewMemStore()
+	}
+	if *readMBps > 0 || *writeMBps > 0 {
+		store = storage.WithDevice(store, storage.DeviceSpec{
+			Name:      "device",
+			ReadRate:  *readMBps * netsim.MBps,
+			WriteRate: *writeMBps * netsim.MBps,
+		})
+	}
+
+	srv := srb.NewServer()
+	srv.AddResource("default", kind, store)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("srbd: listen %s: %v", *listen, err)
+	}
+	log.Printf("srbd: serving %s storage on %s", kind, l.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				log.Printf("srbd: conns=%d active=%d reqs=%d in=%dB out=%dB",
+					st.Connections, st.ActiveConns, st.Requests,
+					st.BytesWritten, st.BytesRead)
+			}
+		}()
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println()
+		st := srv.Stats()
+		log.Printf("srbd: shutting down (served %d connections, %d requests)",
+			st.Connections, st.Requests)
+		l.Close()
+		os.Exit(0)
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("srbd: %v", err)
+	}
+}

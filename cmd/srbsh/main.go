@@ -1,0 +1,165 @@
+// Command srbsh is a small SRB shell client in the spirit of the Scommands
+// (Sput, Sget, Sls ...): it exercises the full wire protocol against a
+// running srbd.
+//
+// Usage:
+//
+//	srbsh -server HOST:PORT ls /path
+//	srbsh -server HOST:PORT stat /path
+//	srbsh -server HOST:PORT mkdir /path
+//	srbsh -server HOST:PORT put LOCAL /remote [-streams N]
+//	srbsh -server HOST:PORT get /remote LOCAL
+//	srbsh -server HOST:PORT rm /remote
+//	srbsh -server HOST:PORT sum /remote
+//	srbsh -server HOST:PORT replicate /remote RESOURCE
+//	srbsh -server HOST:PORT ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"semplar"
+	"semplar/internal/srb"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5544", "SRB server address")
+	user := flag.String("user", "srbsh", "user name for the handshake")
+	streams := flag.Int("streams", 1, "TCP streams for put/get")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch args[0] {
+	case "ping":
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		start := time.Now()
+		if _, err := conn.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pong from %s in %v\n", *server, time.Since(start))
+
+	case "ls":
+		need(args, 2)
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		entries, err := conn.List(args[1])
+		fatal(err)
+		for _, e := range entries {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %12d  %s\n", kind, e.Size, e.Path)
+		}
+
+	case "stat":
+		need(args, 2)
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		fi, err := conn.Stat(args[1])
+		fatal(err)
+		fmt.Printf("path:     %s\ndir:      %v\nsize:     %d\nresource: %s\n",
+			fi.Path, fi.IsDir, fi.Size, fi.Resource)
+
+	case "mkdir":
+		need(args, 2)
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		fatal(conn.Mkdir(args[1]))
+
+	case "rm":
+		need(args, 2)
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		fatal(conn.Unlink(args[1]))
+
+	case "sum":
+		need(args, 2)
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		sum, size, err := conn.Checksum(args[1])
+		fatal(err)
+		fmt.Printf("%s  %d  %s\n", sum, size, args[1])
+
+	case "replicate":
+		need(args, 3)
+		conn, err := srb.Dial(*server, *user)
+		fatal(err)
+		defer conn.Close()
+		n, err := conn.Replicate(args[1], args[2])
+		fatal(err)
+		fmt.Printf("replicated %d bytes of %s to %s\n", n, args[1], args[2])
+
+	case "put":
+		need(args, 3)
+		data, err := os.ReadFile(args[1])
+		fatal(err)
+		client := dialClient(*server, *user, *streams)
+		f, err := client.Open(args[2], semplar.O_WRONLY|semplar.O_CREATE|semplar.O_TRUNC)
+		fatal(err)
+		start := time.Now()
+		_, err = f.WriteAt(data, 0)
+		fatal(err)
+		fatal(f.Close())
+		el := time.Since(start)
+		fmt.Printf("put %d bytes in %v (%.2f MB/s, %d streams)\n",
+			len(data), el, float64(len(data))/(1<<20)/el.Seconds(), *streams)
+
+	case "get":
+		need(args, 3)
+		client := dialClient(*server, *user, *streams)
+		f, err := client.Open(args[1], semplar.O_RDONLY)
+		fatal(err)
+		size, err := f.Size()
+		fatal(err)
+		buf := make([]byte, size)
+		start := time.Now()
+		_, err = f.ReadAt(buf, 0)
+		fatal(err)
+		fatal(f.Close())
+		el := time.Since(start)
+		fatal(os.WriteFile(args[2], buf, 0o644))
+		fmt.Printf("got %d bytes in %v (%.2f MB/s, %d streams)\n",
+			len(buf), el, float64(len(buf))/(1<<20)/el.Seconds(), *streams)
+
+	default:
+		log.Fatalf("srbsh: unknown command %q", args[0])
+	}
+}
+
+func dialClient(server, user string, streams int) *semplar.Client {
+	client, err := semplar.NewClient(func() (net.Conn, error) {
+		return net.Dial("tcp", server)
+	}, semplar.Options{User: user, Streams: streams})
+	fatal(err)
+	return client
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("srbsh: %s needs %d arguments", args[0], n-1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatalf("srbsh: %v", err)
+	}
+}

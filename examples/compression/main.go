@@ -1,0 +1,88 @@
+// Compression: the Section 7.3 experiment — nucleotide EST text written to
+// the remote server either raw (blocking) or as LZO blocks whose
+// compression is pipelined with transmission through the asynchronous
+// engine. On a slow WAN the compressed pipeline nearly doubles effective
+// write bandwidth.
+//
+//	go run ./examples/compression [-mb 2] [-scale 4]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"semplar"
+	"semplar/internal/cluster"
+	"semplar/internal/stats"
+	"semplar/internal/workloads/datagen"
+)
+
+func main() {
+	mb := flag.Int("mb", 2, "megabytes of EST text to write")
+	scale := flag.Float64("scale", 4, "testbed acceleration")
+	flag.Parse()
+
+	src := datagen.ESTText(*mb<<20, 11)
+	fmt.Printf("input: %d KiB of synthetic human-EST FASTA text\n\n", len(src)>>10)
+
+	spec := cluster.DAS2().Scaled(*scale)
+
+	newClient := func() *semplar.Client {
+		tb := cluster.New(spec, 1)
+		client, err := semplar.NewClient(func() (net.Conn, error) {
+			c, s := tb.Net.Dial(0)
+			go tb.Server.ServeConn(s)
+			return c, nil
+		}, semplar.Options{User: "compress"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return client
+	}
+
+	// Baseline: blocking write of the raw bytes.
+	f, err := newClient().Open("/est.raw", semplar.O_WRONLY|semplar.O_CREATE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := f.WriteAt(src, 0); err != nil {
+		log.Fatal(err)
+	}
+	rawTime := time.Since(start)
+	f.Close()
+	fmt.Printf("raw synchronous write:      %7.3fs  (%6.2f Mb/s effective)\n",
+		rawTime.Seconds(), stats.MbPerSec(int64(len(src)), rawTime))
+
+	// On-the-fly LZO, compression pipelined with the transfer.
+	f2, err := newClient().Open("/est.lzo", semplar.O_RDWR|semplar.O_CREATE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	cstats, err := semplar.WriteCompressed(f2, 0, src, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lzoTime := time.Since(start)
+	fmt.Printf("async compressed pipeline:  %7.3fs  (%6.2f Mb/s effective, ratio %.2fx, %d blocks)\n",
+		lzoTime.Seconds(), stats.MbPerSec(int64(len(src)), lzoTime),
+		cstats.Ratio(), cstats.Blocks)
+	fmt.Printf("effective bandwidth gain:   %+.0f%%\n\n",
+		(rawTime.Seconds()/lzoTime.Seconds()-1)*100)
+
+	// Round-trip check through the decompressing reader.
+	back, err := semplar.ReadCompressed(f2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2.Close()
+	if !bytes.Equal(back, src) {
+		log.Fatal("decompressed read-back differs from the input")
+	}
+	fmt.Println("read-back verified: decompressed bytes identical to the input")
+}

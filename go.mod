@@ -1,0 +1,3 @@
+module semplar
+
+go 1.22

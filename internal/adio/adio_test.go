@@ -1,0 +1,155 @@
+package adio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct{ in, scheme, local string }{
+		{"srb:/dir/file", "srb", "/dir/file"},
+		{"mem:/x", "mem", "/x"},
+		{"/tmp/plain", "ufs", "/tmp/plain"},
+		{"relative/path", "ufs", "relative/path"},
+		{"ufs:/explicit", "ufs", "/explicit"},
+	}
+	for _, c := range cases {
+		s, l := SplitPath(c.in)
+		if s != c.scheme || l != c.local {
+			t.Errorf("SplitPath(%q) = %q,%q want %q,%q", c.in, s, l, c.scheme, c.local)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := &Registry{}
+	r.Register(NewMemFS())
+	if _, err := r.Lookup("mem"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrUnknownDriver) {
+		t.Fatalf("lookup missing = %v", err)
+	}
+	if got := r.Drivers(); len(got) != 1 || got[0] != "mem" {
+		t.Fatalf("drivers = %v", got)
+	}
+	if _, _, err := r.Resolve("gone:/x"); !errors.Is(err, ErrUnknownDriver) {
+		t.Fatalf("resolve = %v", err)
+	}
+}
+
+func TestHints(t *testing.T) {
+	var h Hints
+	if h.Get("k", "d") != "d" {
+		t.Fatal("nil hints default")
+	}
+	h = Hints{"k": "v"}
+	if h.Get("k", "d") != "v" || h.Get("other", "d") != "d" {
+		t.Fatal("hint lookup")
+	}
+}
+
+func driverFileRoundTrip(t *testing.T, r *Registry, path string) {
+	t.Helper()
+	f, err := r.Open(path, O_RDWR|O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("adio"), 1000)
+	if n, err := f.WriteAt(data, 100); err != nil || n != len(data) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if sz, err := f.Size(); err != nil || sz != int64(100+len(data)) {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+	got := make([]byte, len(data))
+	if n, err := f.ReadAt(got, 100); err != nil || n != len(data) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := f.Truncate(50); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 50 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+	if _, err := f.ReadAt(make([]byte, 10), 1000); err != io.EOF {
+		t.Fatalf("read past EOF = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open(path, O_RDONLY, nil); err == nil {
+		t.Fatal("open after delete succeeded")
+	}
+}
+
+func TestUFSDriver(t *testing.T) {
+	r := &Registry{}
+	r.Register(UFSDriver{})
+	driverFileRoundTrip(t, r, filepath.Join(t.TempDir(), "f.bin"))
+}
+
+func TestMemFSDriver(t *testing.T) {
+	r := &Registry{}
+	r.Register(NewMemFS())
+	driverFileRoundTrip(t, r, "mem:/f.bin")
+}
+
+func TestMemFSFlags(t *testing.T) {
+	d := NewMemFS()
+	if _, err := d.Open("/missing", O_RDONLY, nil); err == nil {
+		t.Fatal("open missing without create")
+	}
+	f, err := d.Open("/f", O_WRONLY|O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("hello"), 0)
+	f.Close()
+	if _, err := d.Open("/f", O_WRONLY|O_CREATE|O_EXCL, nil); err == nil {
+		t.Fatal("excl create over existing")
+	}
+	f2, err := d.Open("/f", O_RDWR|O_TRUNC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f2.Size(); sz != 0 {
+		t.Fatalf("size after O_TRUNC = %d", sz)
+	}
+}
+
+func TestDefaultRegistryHasUFS(t *testing.T) {
+	if _, err := Default.Lookup("ufs"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUFSFlagsMapping(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flags.bin")
+	d := UFSDriver{}
+	if _, err := d.Open(path, O_RDONLY, nil); err == nil {
+		t.Fatal("open missing file")
+	}
+	f, err := d.Open(path, O_WRONLY|O_CREATE|O_EXCL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("xyz"), 0)
+	f.Close()
+	if _, err := d.Open(path, O_WRONLY|O_CREATE|O_EXCL, nil); err == nil {
+		t.Fatal("excl on existing file")
+	}
+}

@@ -1,0 +1,100 @@
+// Package cluster assembles complete simulated testbeds: a client cluster
+// (netsim network + per-node buses + MPI fabric) connected to an SRB
+// server with a metered storage device — one package-level constructor per
+// testbed of Section 5.
+package cluster
+
+import (
+	"net"
+
+	"semplar/internal/adio"
+	"semplar/internal/core"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+// Spec describes one testbed: the WAN profile of the client cluster and
+// the storage device behind the SRB server.
+type Spec struct {
+	Name    string
+	Profile netsim.Profile
+	Device  storage.DeviceSpec
+}
+
+// Scaled accelerates the whole testbed by f (see netsim.Profile.Scaled).
+func (s Spec) Scaled(f float64) Spec {
+	s.Profile = s.Profile.Scaled(f)
+	s.Device = s.Device.Scaled(f)
+	return s
+}
+
+// orionDevice models the SRB server's storage tier: reads are served
+// mostly from cache/disk arrays, writes must commit, so the write rate is
+// the tighter one — the asymmetry behind Figure 8's read gain exceeding
+// its write gain.
+func orionDevice() storage.DeviceSpec {
+	return storage.DeviceSpec{
+		Name:      "orion-array",
+		ReadRate:  200 * netsim.MBps,
+		WriteRate: 60 * netsim.MBps,
+	}
+}
+
+// DAS2 is the Vrije Universiteit testbed.
+func DAS2() Spec { return Spec{Name: "DAS-2", Profile: netsim.DAS2(), Device: orionDevice()} }
+
+// OSC is the Ohio Supercomputer Center P4 testbed (NAT-fronted).
+func OSC() Spec { return Spec{Name: "OSC", Profile: netsim.OSC(), Device: orionDevice()} }
+
+// TGNCSA is the NCSA TeraGrid testbed.
+func TGNCSA() Spec { return Spec{Name: "TG-NCSA", Profile: netsim.TGNCSA(), Device: orionDevice()} }
+
+// Specs returns the three paper testbeds in presentation order.
+func Specs() []Spec { return []Spec{DAS2(), OSC(), TGNCSA()} }
+
+// Testbed is a running simulated deployment: one SRB server, one client
+// cluster, and per-node ADIO registries whose "srb" driver dials through
+// that node's shaped path.
+type Testbed struct {
+	Spec   Spec
+	Net    *netsim.Network
+	Server *srb.Server
+}
+
+// New brings up a testbed with the given number of client nodes.
+func New(spec Spec, nodes int) *Testbed {
+	return &Testbed{
+		Spec:   spec,
+		Net:    netsim.NewNetwork(spec.Profile, nodes),
+		Server: srb.NewMemServer(spec.Device),
+	}
+}
+
+// Dialer returns a core.DialFunc bound to one client node: every call
+// opens a fresh shaped connection from that node to the server.
+func (tb *Testbed) Dialer(node int) core.DialFunc {
+	return func() (net.Conn, error) {
+		c, s := tb.Net.Dial(node)
+		go tb.Server.ServeConn(s)
+		return c, nil
+	}
+}
+
+// Registry returns an ADIO registry for one node, with the SEMPLAR "srb"
+// driver (configured with cfg basics) and a private "mem" local FS.
+func (tb *Testbed) Registry(node int, cfg core.SRBFSConfig) *adio.Registry {
+	cfg.Dial = tb.Dialer(node)
+	fs, err := core.NewSRBFS(cfg)
+	if err != nil {
+		// Only possible with a nil Dial, which we just set.
+		panic(err)
+	}
+	reg := &adio.Registry{}
+	reg.Register(fs)
+	reg.Register(adio.NewMemFS())
+	return reg
+}
+
+// Fabric is the MPI interconnect of the client cluster.
+func (tb *Testbed) Fabric() netsim.Fabric { return tb.Net.Interconnect() }

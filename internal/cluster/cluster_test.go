@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+
+	"semplar/internal/adio"
+	"semplar/internal/core"
+	"semplar/internal/mpi"
+	"semplar/internal/mpiio"
+)
+
+func TestSpecsScaled(t *testing.T) {
+	for _, s := range Specs() {
+		sc := s.Scaled(10)
+		if sc.Profile.RTT() != s.Profile.RTT()/10 {
+			t.Errorf("%s: RTT not scaled", s.Name)
+		}
+		if sc.Device.WriteRate != s.Device.WriteRate*10 {
+			t.Errorf("%s: device not scaled", s.Name)
+		}
+	}
+	if OSC().Profile.NATRate == 0 {
+		t.Fatal("OSC must be NAT-fronted")
+	}
+	if DAS2().Profile.RTT() <= TGNCSA().Profile.RTT() {
+		t.Fatal("DAS-2 must be the high-latency testbed")
+	}
+}
+
+func TestTestbedEndToEnd(t *testing.T) {
+	tb := New(DAS2().Scaled(200), 3)
+	if err := tb.Server.MkdirAll("/runs"); err != nil {
+		t.Fatal(err)
+	}
+	err := mpi.RunOn(3, tb.Fabric(), func(c *mpi.Comm) error {
+		reg := tb.Registry(c.Rank(), core.SRBFSConfig{})
+		f, err := mpiio.Open(c, reg, "srb:/runs/shared", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		data := make([]byte, 4096)
+		for i := range data {
+			data[i] = byte(c.Rank())
+		}
+		if _, err := f.WriteAt(data, int64(c.Rank())*4096); err != nil {
+			return err
+		}
+		c.Barrier()
+		buf := make([]byte, 3*4096)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		for r := 0; r < 3; r++ {
+			if buf[r*4096] != byte(r) {
+				t.Errorf("rank %d: stripe %d corrupted", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tb.Server.Stats()
+	if st.BytesWritten != 3*4096 {
+		t.Fatalf("server saw %d bytes written", st.BytesWritten)
+	}
+}
+
+func TestRegistryHasDrivers(t *testing.T) {
+	tb := New(TGNCSA().Scaled(500), 1)
+	reg := tb.Registry(0, core.SRBFSConfig{Streams: 2})
+	ds := reg.Drivers()
+	if len(ds) != 2 || ds[0] != "mem" || ds[1] != "srb" {
+		t.Fatalf("drivers = %v", ds)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements SEMPLAR's contribution as described in the
+// paper: asynchronous remote I/O primitives layered over synchronous SRB
+// operations, built from a compute-thread/I-O-thread pair sharing a FIFO
+// I/O queue (Figure 2); striping of a file handle across multiple
+// concurrent TCP streams; and pipelined on-the-fly LZO compression.
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrEngineClosed is returned by Submit after Close.
+var ErrEngineClosed = errors.New("core: async engine closed")
+
+// Request is the handle returned by nonblocking operations — the MPIO
+// request object behind MPI_File_iread/iwrite. The compute thread may poll
+// it with Test or block in Wait.
+type Request struct {
+	done chan struct{}
+	n    int
+	err  error
+}
+
+func newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+func (r *Request) complete(n int, err error) {
+	r.n = n
+	r.err = err
+	close(r.done)
+}
+
+// Wait blocks until the operation finishes and returns its result
+// (MPIO_Wait).
+func (r *Request) Wait() (int, error) {
+	<-r.done
+	return r.n, r.err
+}
+
+// Test reports whether the operation has finished without blocking
+// (MPIO_Test); n and err are valid only when done is true.
+func (r *Request) Test() (n int, err error, done bool) {
+	select {
+	case <-r.done:
+		return r.n, r.err, true
+	default:
+		return 0, nil, false
+	}
+}
+
+// Done returns a channel closed on completion, for use with select.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// completedRequest returns an already-finished request (error path).
+func completedRequest(n int, err error) *Request {
+	r := newRequest()
+	r.complete(n, err)
+	return r
+}
+
+// FailedRequest returns a request that has already completed with err,
+// for layers that must report errors through the nonblocking interface.
+func FailedRequest(err error) *Request { return completedRequest(0, err) }
+
+// EngineStats are cumulative counters of one engine's activity.
+type EngineStats struct {
+	Submitted int64
+	Completed int64
+	Spawned   int64 // I/O threads created
+}
+
+// Engine implements the multi-threaded asynchronous I/O design of Section
+// 4.2/4.3: callers enqueue the corresponding synchronous operation as a
+// closure; dedicated I/O threads dequeue in FIFO order and execute it. The
+// threads suspend on a condition variable when the queue is empty and are
+// signaled on enqueue — no busy waiting. Threads are spawned lazily on the
+// first asynchronous call, as in SEMPLAR.
+type Engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*task
+	threads int // configured pool size
+	running int // spawned threads
+	idle    int // threads waiting on the condition variable
+	active  int // tasks executing right now
+	closed  bool
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	spawned   atomic.Int64
+}
+
+type task struct {
+	fn  func() (int, error)
+	req *Request
+}
+
+// NewEngine returns an engine with the given I/O-thread pool size.
+// threads < 1 is treated as 1 (the single-I/O-thread configuration used
+// for the overlap experiments; Figure 8 uses one thread per connection).
+func NewEngine(threads int) *Engine {
+	if threads < 1 {
+		threads = 1
+	}
+	e := &Engine{threads: threads}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Threads reports the configured pool size.
+func (e *Engine) Threads() int { return e.threads }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Spawned:   e.spawned.Load(),
+	}
+}
+
+// Submit enqueues the synchronous operation fn and returns immediately
+// with a Request tracking it. fn's (n, error) result becomes the request's
+// result.
+func (e *Engine) Submit(fn func() (int, error)) *Request {
+	req := newRequest()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return completedRequest(0, ErrEngineClosed)
+	}
+	e.queue = append(e.queue, &task{fn: fn, req: req})
+	// Lazily grow the pool: spawn another I/O thread only when all
+	// existing ones are busy and we are under the configured size.
+	if e.running < e.threads && e.idle == 0 {
+		e.running++
+		e.spawned.Add(1)
+		go e.ioThread()
+	}
+	e.submitted.Add(1)
+	// The compute thread signals the I/O threads whenever it places a
+	// new request in the queue.
+	e.cond.Signal()
+	e.mu.Unlock()
+	return req
+}
+
+func (e *Engine) ioThread() {
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			// Suspend until signaled; avoids polling the queue.
+			e.idle++
+			e.cond.Wait()
+			e.idle--
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.running--
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		t := e.queue[0]
+		e.queue[0] = nil
+		e.queue = e.queue[1:]
+		e.active++
+		e.mu.Unlock()
+
+		n, err := t.fn()
+		t.req.complete(n, err)
+
+		e.mu.Lock()
+		e.active--
+		e.completed.Add(1)
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// Drain blocks until every submitted operation has completed.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	for len(e.queue) > 0 || e.active > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Close drains outstanding work, stops the I/O threads and rejects
+// further submissions. It is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		// Still wait for threads to exit.
+		for e.running > 0 {
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	for len(e.queue) > 0 || e.active > 0 || e.running > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}

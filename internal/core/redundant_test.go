@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+func TestRedundantReadCorrect(t *testing.T) {
+	_, fs := newTestFS(t, 3)
+	f, err := fs.Open("/red", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src := bytes.Repeat([]byte("redundancy"), 500)
+	if _, err := f.WriteAt(src, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(src))
+	n, err := f.(*srbFile).ReadAtRedundant(got, 0)
+	if err != nil || n != len(src) {
+		t.Fatalf("redundant read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("mismatch")
+	}
+	// Short read semantics preserved.
+	long := make([]byte, len(src)+100)
+	n, err = f.(*srbFile).ReadAtRedundant(long, 0)
+	if n != len(src) || err != io.EOF {
+		t.Fatalf("short redundant read = %d, %v", n, err)
+	}
+}
+
+func TestRedundantReadSingleStream(t *testing.T) {
+	_, fs := newTestFS(t, 1)
+	f, _ := fs.Open("/one", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+	f.WriteAt([]byte("single"), 0)
+	got := make([]byte, 6)
+	if n, err := f.(*srbFile).ReadAtRedundant(got, 0); err != nil || n != 6 {
+		t.Fatalf("= %d, %v", n, err)
+	}
+}
+
+func TestRedundantReadSurvivesStalledStream(t *testing.T) {
+	// One of the two streams is black-holed mid-read; the redundant
+	// read must still complete via the other stream — the availability
+	// benefit Section 4.1 describes.
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	var serverEnds, clientEnds []*netsim.Conn
+	fs, _ := NewSRBFS(SRBFSConfig{Dial: func() (net.Conn, error) {
+		c, s := netsim.Pipe(0, nil, nil)
+		go srv.ServeConn(s)
+		serverEnds = append(serverEnds, s) // stall its sends later
+		clientEnds = append(clientEnds, c)
+		return c, nil
+	}, Streams: 2})
+
+	f, err := fs.Open("/avail", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A graceful Close would block forever on the stalled stream (its
+	// pending call holds the connection); sever the transports instead,
+	// as an application recovering from a black-holed path would.
+	defer func() {
+		for _, c := range clientEnds {
+			c.Close()
+		}
+		f.Close()
+	}()
+	payload := bytes.Repeat([]byte{0xAB}, 128<<10)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Black-hole the server->client direction of stream 0: its read
+	// response never arrives.
+	serverEnds[0].FaultAfter(0, netsim.FaultStall)
+
+	got := make([]byte, len(payload))
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.(*srbFile).ReadAtRedundant(got, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("redundant read failed despite healthy stream: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("redundant read blocked on the stalled stream")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("redundant read returned wrong bytes")
+	}
+}
+
+func TestRedundantReadAllStreamsFail(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	var serverEnds []*netsim.Conn
+	fs, _ := NewSRBFS(SRBFSConfig{Dial: func() (net.Conn, error) {
+		c, s := netsim.Pipe(0, nil, nil)
+		go srv.ServeConn(s)
+		serverEnds = append(serverEnds, s)
+		return c, nil
+	}, Streams: 2})
+	f, err := fs.Open("/dead", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.WriteAt(make([]byte, 1024), 0)
+	for _, s := range serverEnds {
+		s.Close()
+	}
+	if _, err := f.(*srbFile).ReadAtRedundant(make([]byte, 1024), 0); err == nil {
+		t.Fatal("read succeeded with every stream dead")
+	}
+}
+
+func TestRedundantReadLowerTailLatencyUnderJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// With heavy latency jitter, min-of-two beats one stream on average.
+	prof := netsim.Loopback()
+	prof.OneWay = 2 * time.Millisecond
+	prof.LatencyJitter = 40 * time.Millisecond
+	net0 := netsim.NewNetwork(prof, 1)
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	fs, _ := NewSRBFS(SRBFSConfig{Dial: func() (net.Conn, error) {
+		c, s := net0.Dial(0)
+		go srv.ServeConn(s)
+		return c, nil
+	}, Streams: 2})
+	f, err := fs.Open("/jit", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.WriteAt(make([]byte, 4<<10), 0)
+
+	buf := make([]byte, 4<<10)
+	const rounds = 12
+	var single, redundant time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		single += time.Since(start)
+
+		start = time.Now()
+		if _, err := f.(*srbFile).ReadAtRedundant(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		redundant += time.Since(start)
+	}
+	// Redundant reads take the min of two jitter draws; allow a wide
+	// margin but they must not be slower on average.
+	if redundant > single*11/10 {
+		t.Fatalf("redundant avg %v vs single-stream avg %v", redundant/rounds, single/rounds)
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+
+	"semplar/internal/adio"
+	"semplar/internal/srb"
+)
+
+// DefaultStripeSize is the striping unit across TCP streams. Each stripe
+// is one synchronous SRB request, so stripes must be large enough that the
+// per-request WAN round trip is amortized; applications that issue one big
+// write per I/O phase (the paper's pattern) want stripe ~ transfer/streams.
+const DefaultStripeSize = 1 << 20
+
+// DialFunc opens one new transport connection to the SRB server. Every
+// stream of every open file gets its own connection — each with a separate
+// endpoint, as in SEMPLAR.
+type DialFunc func() (net.Conn, error)
+
+// SRBFSConfig configures the SEMPLAR ADIO driver.
+type SRBFSConfig struct {
+	Dial     DialFunc
+	User     string
+	Resource string // server storage resource ("" = server default)
+	// Streams is the default number of concurrent TCP streams per open
+	// file handle (>= 1). The per-open hint "streams" overrides it.
+	Streams int
+	// StripeSize is the striping unit across streams; hint
+	// "stripe_size" overrides it.
+	StripeSize int
+}
+
+// SRBFS is the high-performance ADIO implementation for the SRB filesystem
+// (Figure 1's SRBFS box). Opening a file establishes its TCP streams;
+// closing it tears them down, mirroring MPI_File_open/close semantics.
+type SRBFS struct {
+	cfg SRBFSConfig
+}
+
+// NewSRBFS validates the config and returns the driver.
+func NewSRBFS(cfg SRBFSConfig) (*SRBFS, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("core: SRBFS needs a Dial function")
+	}
+	if cfg.Streams < 1 {
+		cfg.Streams = 1
+	}
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = DefaultStripeSize
+	}
+	if cfg.User == "" {
+		cfg.User = "semplar"
+	}
+	return &SRBFS{cfg: cfg}, nil
+}
+
+// Name implements adio.Driver.
+func (d *SRBFS) Name() string { return "srb" }
+
+// Delete implements adio.Driver.
+func (d *SRBFS) Delete(path string) error {
+	conn, err := d.connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return conn.Unlink(path)
+}
+
+func (d *SRBFS) connect() (*srb.Conn, error) {
+	raw, err := d.cfg.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("core: dial SRB server: %w", err)
+	}
+	return srb.NewConn(raw, d.cfg.User)
+}
+
+// Open implements adio.Driver. Supported hints: "streams" (int) and
+// "stripe_size" (bytes).
+func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error) {
+	streams := d.cfg.Streams
+	if v := hints.Get("streams", ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("core: bad streams hint %q", v)
+		}
+		streams = n
+	}
+	stripe := d.cfg.StripeSize
+	if v := hints.Get("stripe_size", ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("core: bad stripe_size hint %q", v)
+		}
+		stripe = n
+	}
+
+	f := &srbFile{path: path, stripe: int64(stripe)}
+	for i := 0; i < streams; i++ {
+		conn, err := d.connect()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Only the first stream may truncate or exclusive-create;
+		// the rest reopen the now-existing file (O_CREATE is kept so
+		// the open cannot race with another node's create).
+		sf := flags
+		if i > 0 {
+			sf &^= adio.O_TRUNC | adio.O_EXCL
+		}
+		file, err := conn.Open(path, sf, d.cfg.Resource)
+		if err != nil {
+			conn.Close()
+			f.Close()
+			return nil, err
+		}
+		f.streams = append(f.streams, &stream{conn: conn, file: file})
+	}
+	return f, nil
+}
+
+type stream struct {
+	conn *srb.Conn
+	file *srb.File
+}
+
+// srbFile stripes one logical file handle over its TCP streams. With one
+// stream it behaves like original SEMPLAR; with more, explicit-offset I/O
+// is split on stripe boundaries and the pieces proceed concurrently, one
+// goroutine per stream — the split-TCP optimization of Section 7.2.
+type srbFile struct {
+	path    string
+	stripe  int64
+	streams []*stream
+}
+
+var _ adio.File = (*srbFile)(nil)
+
+// Streams reports how many TCP streams back this handle.
+func (f *srbFile) Streams() int { return len(f.streams) }
+
+// op is one contiguous piece of a striped transfer.
+type op struct {
+	stream int
+	off    int64 // file offset
+	buf    []byte
+}
+
+// splitStripes cuts [off, off+len(p)) on stripe boundaries and assigns
+// each piece round-robin to a stream.
+func (f *srbFile) splitStripes(p []byte, off int64) []op {
+	n := len(f.streams)
+	var ops []op
+	for len(p) > 0 {
+		blk := off / f.stripe
+		end := (blk + 1) * f.stripe
+		take := end - off
+		if take > int64(len(p)) {
+			take = int64(len(p))
+		}
+		ops = append(ops, op{
+			stream: int(blk % int64(n)),
+			off:    off,
+			buf:    p[:take],
+		})
+		p = p[take:]
+		off += take
+	}
+	return ops
+}
+
+// runStriped executes the ops concurrently, one worker per stream, each
+// issuing its ops sequentially on its own connection.
+func (f *srbFile) runStriped(ops []op, write bool) []opResult {
+	results := make([]opResult, len(ops))
+	byStream := make([][]int, len(f.streams))
+	for i, o := range ops {
+		byStream[o.stream] = append(byStream[o.stream], i)
+	}
+	var wg sync.WaitGroup
+	for s, idxs := range byStream {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			file := f.streams[s].file
+			for _, i := range idxs {
+				o := ops[i]
+				var n int
+				var err error
+				if write {
+					n, err = file.WriteAt(o.buf, o.off)
+				} else {
+					n, err = file.ReadAt(o.buf, o.off)
+				}
+				results[i] = opResult{n: n, err: err}
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	return results
+}
+
+type opResult struct {
+	n   int
+	err error
+}
+
+// WriteAt implements adio.File, striping across the streams.
+func (f *srbFile) WriteAt(p []byte, off int64) (int, error) {
+	if len(f.streams) == 1 {
+		return f.streams[0].file.WriteAt(p, off)
+	}
+	ops := f.splitStripes(p, off)
+	results := f.runStriped(ops, true)
+	total := 0
+	for i, r := range results {
+		total += r.n
+		if r.err != nil {
+			return total, fmt.Errorf("core: stripe write at %d: %w", ops[i].off, r.err)
+		}
+	}
+	return total, nil
+}
+
+// ReadAt implements adio.File. Short reads report the contiguous prefix
+// actually available, with io.EOF when it ends before len(p).
+func (f *srbFile) ReadAt(p []byte, off int64) (int, error) {
+	if len(f.streams) == 1 {
+		return f.streams[0].file.ReadAt(p, off)
+	}
+	ops := f.splitStripes(p, off)
+	results := f.runStriped(ops, false)
+	// Ops are generated in ascending offset order; accumulate the
+	// contiguous prefix.
+	total := 0
+	for i, r := range results {
+		total += r.n
+		if r.err != nil && r.err != io.EOF {
+			return total, fmt.Errorf("core: stripe read at %d: %w", ops[i].off, r.err)
+		}
+		if r.n < len(ops[i].buf) {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// Size implements adio.File.
+func (f *srbFile) Size() (int64, error) { return f.streams[0].file.Size() }
+
+// Truncate implements adio.File.
+func (f *srbFile) Truncate(size int64) error { return f.streams[0].file.Truncate(size) }
+
+// Sync implements adio.File, syncing every stream.
+func (f *srbFile) Sync() error {
+	for _, s := range f.streams {
+		if err := s.file.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements adio.File, closing every stream's file and connection.
+func (f *srbFile) Close() error {
+	var first error
+	for _, s := range f.streams {
+		if s == nil {
+			continue
+		}
+		if s.file != nil {
+			if err := s.file.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := s.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.streams = nil
+	return first
+}

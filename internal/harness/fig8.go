@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/mpi"
+	"semplar/internal/stats"
+	"semplar/internal/workloads/perf"
+)
+
+// RunFig8 reproduces Figure 8: ROMIO perf aggregate read/write bandwidth
+// vs. processors with one and two concurrent TCP streams per node, on
+// DAS-2 and TG-NCSA (the paper omits the NAT-fronted OSC here).
+func RunFig8(opt Options) (*Figure, error) {
+	opt = opt.withDefaults([]int{2, 4, 8, 12})
+	arrayBytes := 1 << 20 // paper: 32 MB per process, scaled
+	if opt.Quick {
+		arrayBytes = 512 << 10
+	}
+
+	fig := &Figure{
+		ID:    "fig8",
+		Title: "perf aggregate I/O bandwidth, one vs two TCP streams per node",
+		Paper: "DAS-2: read +96%, write +43%; TG-NCSA: read +75%, write +24%",
+	}
+
+	for _, spec := range []cluster.Spec{cluster.DAS2(), cluster.TGNCSA()} {
+		scaled := spec.Scaled(opt.Scale)
+
+		w1 := &stats.Series{Label: "write-1stream"}
+		w2 := &stats.Series{Label: "write-2streams"}
+		r1 := &stats.Series{Label: "read-1stream"}
+		r2 := &stats.Series{Label: "read-2streams"}
+
+		for _, np := range opt.Procs {
+			for _, streams := range []int{1, 2} {
+				res, err := runPerfOnce(scaled, np, perf.Config{
+					ArrayBytes: arrayBytes,
+					Streams:    streams,
+					Path:       "srb:/perf.dat",
+				}, opt.Trials)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s np=%d k=%d: %w", spec.Name, np, streams, err)
+				}
+				if streams == 1 {
+					w1.Add(np, res.WriteMbps)
+					r1.Add(np, res.ReadMbps)
+				} else {
+					w2.Add(np, res.WriteMbps)
+					r2.Add(np, res.ReadMbps)
+				}
+			}
+		}
+
+		fig.Clusters = append(fig.Clusters, ClusterResult{
+			Cluster: spec.Name,
+			XLabel:  "np", YLabel: "aggregate Mb/s",
+			Series: []*stats.Series{w2, r2, w1, r1},
+			Metrics: map[string]float64{
+				"read gain %":  pct(stats.MeanRatio(r2, r1) - 1),
+				"write gain %": pct(stats.MeanRatio(w2, w1) - 1),
+			},
+		})
+	}
+	return fig, nil
+}
+
+func runPerfOnce(spec cluster.Spec, np int, cfg perf.Config, trials int) (perf.Result, error) {
+	var out perf.Result
+	bestTotal := time.Duration(0)
+	_, err := minTimed(trials, func() (time.Duration, error) {
+		tb := cluster.New(spec, np)
+		var res perf.Result
+		err := mpi.RunOn(np, tb.Fabric(), func(c *mpi.Comm) error {
+			reg := tb.Registry(c.Rank(), core.SRBFSConfig{})
+			r, err := perf.Run(c, reg, cfg)
+			if c.Rank() == 0 {
+				res = r
+			}
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		total := res.WriteTime + res.ReadTime
+		if bestTotal == 0 || total < bestTotal {
+			bestTotal = total
+			out = res
+		}
+		return total, nil
+	})
+	return out, err
+}

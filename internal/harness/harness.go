@@ -1,0 +1,216 @@
+// Package harness regenerates the paper's evaluation: one runner per
+// figure (6-9) plus the Section 7.1 bus-contention ablation. Each runner
+// brings up the simulated testbeds of Section 5, executes the workload
+// variants across a processor sweep, and returns the same series the paper
+// plots together with the headline metrics its text reports.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/mpiio"
+	"semplar/internal/stats"
+)
+
+// Options control the sweep sizes. The zero value gives the default
+// "bench" configuration; Quick shrinks everything for CI-speed smoke runs.
+type Options struct {
+	// Scale accelerates the testbeds (latency /Scale, rates *Scale).
+	// Default 10.
+	Scale float64
+	// Procs is the processor sweep. Defaults depend on the figure.
+	Procs []int
+	// Quick shrinks problem sizes and the sweep for fast smoke runs.
+	Quick bool
+	// Trials repeats each timed point; the minimum is kept (default 1).
+	Trials int
+}
+
+func (o Options) withDefaults(defProcs []int) Options {
+	if o.Scale <= 0 {
+		o.Scale = 10
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = defProcs
+		if o.Quick && len(defProcs) > 2 {
+			o.Procs = defProcs[:2]
+		}
+	}
+	return o
+}
+
+// ClusterResult holds one testbed's series for one figure.
+type ClusterResult struct {
+	Cluster string
+	XLabel  string
+	YLabel  string
+	Series  []*stats.Series
+	// Metrics are the headline numbers the paper's text quotes,
+	// e.g. "async improvement %" or "read gain %".
+	Metrics map[string]float64
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID       string
+	Title    string
+	Paper    string // what the paper reports, for side-by-side reading
+	Clusters []ClusterResult
+}
+
+// Render formats the figure as text tables.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", f.ID, f.Title)
+	if f.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", f.Paper)
+	}
+	for _, cr := range f.Clusters {
+		b.WriteByte('\n')
+		b.WriteString(stats.Table(
+			fmt.Sprintf("%s / %s", f.ID, cr.Cluster),
+			cr.XLabel, cr.YLabel, cr.Series...))
+		keys := make([]string, 0, len(cr.Metrics))
+		for k := range cr.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-38s %8.1f\n", k, cr.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the figure's series as comma-separated records:
+// figure,cluster,series,x,y — one row per data point, suitable for
+// external plotting.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,cluster,series,x,y\n")
+	for _, cr := range f.Clusters {
+		for _, s := range cr.Series {
+			for i, x := range s.X {
+				fmt.Fprintf(&b, "%s,%s,%s,%d,%g\n", f.ID, cr.Cluster, s.Label, x, s.Y[i])
+			}
+		}
+	}
+	return b.String()
+}
+
+// Metric fetches a metric from the named cluster (0 if absent).
+func (f *Figure) Metric(cluster, name string) float64 {
+	for _, cr := range f.Clusters {
+		if cr.Cluster == cluster {
+			return cr.Metrics[name]
+		}
+	}
+	return 0
+}
+
+// seriesOf finds a series by label in a cluster result.
+func (cr *ClusterResult) seriesOf(label string) *stats.Series {
+	for _, s := range cr.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	return nil
+}
+
+// minDuration runs fn Trials times and keeps the fastest result, a
+// standard way to cut scheduler noise from timing experiments.
+func minTimed(trials int, fn func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < trials; i++ {
+		settle()
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// settle quiesces the host between timed runs: collect the previous run's
+// garbage and let lingering teardown goroutines drain, so back-to-back
+// experiments do not contaminate each other's timing (which matters on
+// small CI hosts).
+func settle() {
+	runtime.GC()
+	time.Sleep(30 * time.Millisecond)
+}
+
+// pct converts a ratio-minus-one to percent.
+func pct(x float64) float64 { return x * 100 }
+
+// measureWriteCost measures the real per-operation cost of writing size
+// bytes to the SRB server over one stream on the given testbed, including
+// protocol round trips and simulator scheduling overhead. nodes > 1
+// replicates the workload's burst concurrency — simultaneous writers
+// contend on the NAT/path exactly as the real checkpoints do. Harnesses
+// use it to calibrate compute pads against actual I/O time rather than
+// analytic estimates.
+func measureWriteCost(spec cluster.Spec, size, ops, nodes int) (time.Duration, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	tb := cluster.New(spec, nodes)
+	files := make([]*mpiio.File, nodes)
+	for node := range files {
+		reg := tb.Registry(node, core.SRBFSConfig{})
+		f, err := mpiio.OpenLocal(reg, fmt.Sprintf("srb:/calibrate-%d", node), adio.O_WRONLY|adio.O_CREATE, nil)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		files[node] = f
+	}
+	run := func() error {
+		errs := make([]error, nodes)
+		var wg sync.WaitGroup
+		for node, f := range files {
+			wg.Add(1)
+			go func(node int, f *mpiio.File) {
+				defer wg.Done()
+				buf := make([]byte, size)
+				for i := 0; i < ops; i++ {
+					if _, err := f.WriteAt(buf, int64(i)*int64(size)); err != nil {
+						errs[node] = err
+						return
+					}
+				}
+			}(node, f)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// One warm-up round outside the measurement.
+	if err := run(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := run(); err != nil {
+		return 0, err
+	}
+	return time.Since(start) / time.Duration(ops), nil
+}

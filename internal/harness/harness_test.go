@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"semplar/internal/cluster"
+	"semplar/internal/stats"
+)
+
+// quickOpts runs small, fast sweeps; assertions below are qualitative with
+// wide margins so single-core scheduling noise cannot flip them.
+func quickOpts() Options {
+	// Two trials per point (minimum kept) stabilize the quick sweeps
+	// against load from neighboring tests on small hosts.
+	return Options{Scale: 20, Quick: true, Trials: 2}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults([]int{1, 2, 4})
+	if o.Scale != 10 || o.Trials != 1 || len(o.Procs) != 3 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults([]int{1, 2, 4})
+	if len(q.Procs) != 2 {
+		t.Fatalf("quick procs = %v", q.Procs)
+	}
+	p := Options{Procs: []int{7}}.withDefaults([]int{1, 2})
+	if len(p.Procs) != 1 || p.Procs[0] != 7 {
+		t.Fatalf("explicit procs = %v", p.Procs)
+	}
+}
+
+func TestFigureRenderAndMetric(t *testing.T) {
+	fig := &Figure{
+		ID: "figX", Title: "test figure", Paper: "paper says things",
+		Clusters: []ClusterResult{{
+			Cluster: "DAS-2", XLabel: "np", YLabel: "s",
+			Series:  []*stats.Series{{Label: "sync", X: []int{2}, Y: []float64{1.5}}},
+			Metrics: map[string]float64{"gain %": 42},
+		}},
+	}
+	out := fig.Render()
+	for _, want := range []string{"figX", "test figure", "paper says", "DAS-2", "sync", "gain %", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if fig.Metric("DAS-2", "gain %") != 42 {
+		t.Fatal("metric lookup")
+	}
+	if fig.Metric("nope", "gain %") != 0 {
+		t.Fatal("missing cluster metric")
+	}
+	cr := &fig.Clusters[0]
+	if cr.seriesOf("sync") == nil || cr.seriesOf("zzz") != nil {
+		t.Fatal("seriesOf")
+	}
+}
+
+func TestMinTimed(t *testing.T) {
+	calls := 0
+	d, err := minTimed(3, func() (time.Duration, error) {
+		calls++
+		return time.Duration(calls) * time.Second, nil
+	})
+	if err != nil || calls != 3 || d != time.Second {
+		t.Fatalf("minTimed = %v, %v (calls %d)", d, err, calls)
+	}
+}
+
+func TestMeasureWriteCost(t *testing.T) {
+	spec := cluster.DAS2().Scaled(50)
+	d, err := measureWriteCost(spec, 64<<10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("cost = %v", d)
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	fig, err := RunFig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(fig.Clusters))
+	}
+	for _, cr := range fig.Clusters {
+		syncS := cr.seriesOf("sync")
+		asyncS := cr.seriesOf("async")
+		maxS := cr.seriesOf("max-speedup")
+		if syncS == nil || asyncS == nil || maxS == nil {
+			t.Fatalf("%s: missing series", cr.Cluster)
+		}
+		// Async must beat sync on average; max-speedup bounds async.
+		if r := stats.MeanRatio(asyncS, syncS); r > 0.98 {
+			t.Errorf("%s: async/sync ratio %.2f, want < 0.98", cr.Cluster, r)
+		}
+		if eff := cr.Metrics["overlap efficiency %"]; eff < 55 {
+			t.Errorf("%s: overlap efficiency %.1f%%, want > 55%%", cr.Cluster, eff)
+		}
+		// Execution time decreases with processors (shape of Fig. 6).
+		if len(syncS.Y) >= 2 && syncS.Y[len(syncS.Y)-1] >= syncS.Y[0] {
+			t.Errorf("%s: exec time did not decrease with np: %v", cr.Cluster, syncS.Y)
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	opt := quickOpts()
+	opt.Procs = []int{2, 4}
+	fig, err := RunFig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	das2 := fig.Clusters[0]
+	if das2.Cluster != "DAS-2" {
+		t.Fatalf("first cluster = %s", das2.Cluster)
+	}
+	// On the high-latency, window-limited path, two streams must beat
+	// one substantially.
+	if r := stats.MeanRatio(das2.seriesOf("2streams"), das2.seriesOf("sync")); r > 0.9 {
+		t.Errorf("DAS-2: 2streams/sync = %.2f, want < 0.9", r)
+	}
+	// Async must win on the high-latency path where I/O phases are long
+	// enough to overlap; on the quick-mode fast clusters the phases are
+	// milliseconds, so only guard against gross regressions there.
+	// The Laplace async win is single-digit percent (paper: 7%), so on a
+	// noisy single-core host quick mode can land at parity; only a
+	// clear regression fails.
+	if r := stats.MeanRatio(das2.seriesOf("async"), das2.seriesOf("sync")); r > 1.1 {
+		t.Errorf("DAS-2: async slower than sync (ratio %.2f)", r)
+	}
+	for _, cr := range fig.Clusters {
+		if r := stats.MeanRatio(cr.seriesOf("async"), cr.seriesOf("sync")); r > 1.6 {
+			t.Errorf("%s: async grossly slower than sync (ratio %.2f)", cr.Cluster, r)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	opt := quickOpts()
+	opt.Procs = []int{2, 4}
+	fig, err := RunFig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Clusters) != 2 {
+		t.Fatalf("fig8 clusters = %d", len(fig.Clusters))
+	}
+	das2 := fig.Clusters[0]
+	// The split-TCP mechanism: two streams read much faster than one.
+	if g := das2.Metrics["read gain %"]; g < 30 {
+		t.Errorf("DAS-2 read gain = %.1f%%, want > 30%%", g)
+	}
+	if g := das2.Metrics["write gain %"]; g < 10 {
+		t.Errorf("DAS-2 write gain = %.1f%%, want > 10%%", g)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	opt := quickOpts()
+	opt.Procs = []int{2, 4}
+	fig, err := RunFig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range fig.Clusters {
+		if g := cr.Metrics["compression gain %"]; g < 15 {
+			t.Errorf("%s: compression gain %.1f%%, want > 15%%", cr.Cluster, g)
+		}
+	}
+}
+
+func TestBusContentionQuick(t *testing.T) {
+	opt := quickOpts()
+	opt.Procs = []int{4}
+	fig, err := RunBusContention(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := fig.Clusters[0]
+	// The bus must cost the overlapped double-connection run real time.
+	if c := cr.Metrics["bus cost on 2conn %"]; c < 30 {
+		t.Errorf("bus cost = %.1f%%, want > 30%%", c)
+	}
+	// Under contention, the double connection gives no big win over one
+	// connection (the paper's counter-intuitive result).
+	if d := cr.Metrics["2conn wait@1 vs 1conn %"]; d < -25 {
+		t.Errorf("2conn still wins big under contention: %.1f%%", d)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "figZ",
+		Clusters: []ClusterResult{{
+			Cluster: "DAS-2",
+			Series: []*stats.Series{
+				{Label: "sync", X: []int{2, 4}, Y: []float64{1.5, 0.75}},
+			},
+		}},
+	}
+	csv := fig.CSV()
+	want := "figure,cluster,series,x,y\nfigZ,DAS-2,sync,2,1.5\nfigZ,DAS-2,sync,4,0.75\n"
+	if csv != want {
+		t.Fatalf("csv = %q", csv)
+	}
+}

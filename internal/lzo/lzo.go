@@ -1,0 +1,240 @@
+// Package lzo implements a fast byte-oriented LZ77 compressor in the style
+// of the LZO/LZF family the paper used for on-the-fly compression. The goal
+// is the same speed class as miniLZO — a single pass with a small hash
+// table, no entropy coding — so that compression time stays roughly two
+// orders of magnitude below WAN transmission time, the condition Section
+// 7.3 depends on.
+//
+// Encoded stream grammar (LZF-like):
+//
+//	ctrl < 0x20:  literal run of ctrl+1 bytes follows
+//	ctrl >= 0x20: match; len3 = ctrl>>5, dist = (ctrl&0x1f)<<8 | next byte
+//	              if len3 == 7, subsequent bytes extend the length
+//	              (each 0xff adds 255, the terminator adds its value);
+//	              match length = len3 + 2, distance = dist + 1
+//
+// Maximum match distance is 8 KiB, minimum match length 3.
+package lzo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch    = 3
+	maxDistance = 1 << 13 // 8 KiB window
+	hashBits    = 14
+	hashSize    = 1 << hashBits
+	maxLitRun   = 32
+)
+
+// ErrCorrupt is returned when the compressed stream is malformed.
+var ErrCorrupt = errors.New("lzo: corrupt compressed data")
+
+func hash3(a, b, c byte) uint32 {
+	v := uint32(a) | uint32(b)<<8 | uint32(c)<<16
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// MaxEncodedLen returns the worst-case size of Compress output for n input
+// bytes: one control byte per 32 literals, rounded up.
+func MaxEncodedLen(n int) int {
+	return n + n/maxLitRun + 2
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice. Incompressible data expands by at most 1/32 + 2 bytes.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hash3(src[i], src[i+1], src[i+2])
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) <= maxDistance &&
+			src[cand] == src[i] && src[cand+1] == src[i+1] && src[cand+2] == src[i+2] {
+			// Flush pending literals.
+			dst = emitLiterals(dst, src[litStart:i])
+			// Extend the match.
+			mlen := minMatch
+			for i+mlen < len(src) && src[int(cand)+mlen] == src[i+mlen] {
+				mlen++
+			}
+			dst = emitMatch(dst, i-int(cand)-1, mlen)
+			// Index a couple of positions inside the match so long
+			// repeats keep finding themselves.
+			end := i + mlen
+			for j := i + 1; j < end && j+minMatch <= len(src); j += 1 + (mlen >> 4) {
+				table[hash3(src[j], src[j+1], src[j+2])] = int32(j)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		i++
+	}
+	return emitLiterals(dst, src[litStart:])
+}
+
+func emitLiterals(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > maxLitRun {
+			n = maxLitRun
+		}
+		dst = append(dst, byte(n-1))
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+func emitMatch(dst []byte, dist, mlen int) []byte {
+	rem := mlen - 2 // len3 payload, >= 1
+	len3 := rem
+	if len3 > 7 {
+		len3 = 7
+	}
+	dst = append(dst, byte(len3<<5)|byte(dist>>8), byte(dist))
+	if rem >= 7 {
+		rem -= 7
+		for rem >= 255 {
+			dst = append(dst, 0xff)
+			rem -= 255
+		}
+		dst = append(dst, byte(rem))
+	}
+	return dst
+}
+
+// Decompress appends the decompressed form of src to dst and returns the
+// extended slice.
+func Decompress(dst, src []byte) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		ctrl := src[i]
+		i++
+		if ctrl < 0x20 { // literal run
+			n := int(ctrl) + 1
+			if i+n > len(src) {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, src[i:i+n]...)
+			i += n
+			continue
+		}
+		if i >= len(src) {
+			return dst, ErrCorrupt
+		}
+		mlen := int(ctrl >> 5) // 1..7
+		dist := int(ctrl&0x1f)<<8 | int(src[i])
+		i++
+		if mlen == 7 {
+			for {
+				if i >= len(src) {
+					return dst, ErrCorrupt
+				}
+				b := src[i]
+				i++
+				mlen += int(b)
+				if b != 0xff {
+					break
+				}
+			}
+		}
+		mlen += 2
+		start := len(dst) - dist - 1
+		if start < base {
+			return dst, ErrCorrupt
+		}
+		// Byte-by-byte copy: matches may overlap their own output.
+		for k := 0; k < mlen; k++ {
+			dst = append(dst, dst[start+k])
+		}
+	}
+	return dst, nil
+}
+
+// Block framing: [4B magic][4B origLen][4B compLen][1B stored][payload].
+// Stored blocks carry the raw bytes when compression would not shrink them.
+
+const blockMagic = 0x4c5a4f31 // "LZO1"
+
+// BlockHeaderSize is the size of the per-block frame header.
+const BlockHeaderSize = 13
+
+// EncodeBlock frames and compresses src, falling back to a stored block
+// when compression does not help. The frame is self-describing, so blocks
+// can be concatenated into a stream and decoded one at a time.
+func EncodeBlock(src []byte) []byte {
+	comp := Compress(make([]byte, 0, MaxEncodedLen(len(src))), src)
+	stored := byte(0)
+	payload := comp
+	if len(comp) >= len(src) {
+		stored = 1
+		payload = src
+	}
+	out := make([]byte, BlockHeaderSize, BlockHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(out[0:], blockMagic)
+	binary.BigEndian.PutUint32(out[4:], uint32(len(src)))
+	binary.BigEndian.PutUint32(out[8:], uint32(len(payload)))
+	out[12] = stored
+	return append(out, payload...)
+}
+
+// DecodeBlock decodes one framed block from src, returning the original
+// bytes and the number of frame bytes consumed.
+func DecodeBlock(src []byte) (orig []byte, consumed int, err error) {
+	if len(src) < BlockHeaderSize {
+		return nil, 0, ErrCorrupt
+	}
+	if binary.BigEndian.Uint32(src[0:]) != blockMagic {
+		return nil, 0, fmt.Errorf("lzo: bad block magic %#x", binary.BigEndian.Uint32(src[0:]))
+	}
+	origLen := int(binary.BigEndian.Uint32(src[4:]))
+	compLen := int(binary.BigEndian.Uint32(src[8:]))
+	stored := src[12] == 1
+	end := BlockHeaderSize + compLen
+	if compLen < 0 || origLen < 0 || end > len(src) {
+		return nil, 0, ErrCorrupt
+	}
+	payload := src[BlockHeaderSize:end]
+	if stored {
+		if len(payload) != origLen {
+			return nil, 0, ErrCorrupt
+		}
+		out := make([]byte, origLen)
+		copy(out, payload)
+		return out, end, nil
+	}
+	out, err := Decompress(make([]byte, 0, origLen), payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(out) != origLen {
+		return nil, 0, ErrCorrupt
+	}
+	return out, end, nil
+}
+
+// Ratio reports the compression ratio (orig/comp) Compress achieves on src.
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	comp := Compress(nil, src)
+	if len(comp) == 0 {
+		return 1
+	}
+	return float64(len(src)) / float64(len(comp))
+}

@@ -1,0 +1,246 @@
+package lzo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	comp := Compress(nil, src)
+	if len(comp) > MaxEncodedLen(len(src)) {
+		t.Fatalf("compressed %d bytes into %d > MaxEncodedLen %d",
+			len(src), len(comp), MaxEncodedLen(len(src)))
+	}
+	got, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(got))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
+
+func TestRoundTripShort(t *testing.T) {
+	for _, s := range []string{"a", "ab", "abc", "abcd", "aaaa", "abcabcabc"} {
+		roundTrip(t, []byte(s))
+	}
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte("ACGT"), 10000))
+	roundTrip(t, bytes.Repeat([]byte{0}, 100000))
+	roundTrip(t, []byte(strings.Repeat("the quick brown fox ", 500)))
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 100, 4096, 1 << 16, 1<<20 + 17} {
+		src := make([]byte, n)
+		rng.Read(src)
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripLongMatches(t *testing.T) {
+	// Exercise the length-extension encoding (len3==7 with 0xff chains).
+	src := append([]byte("prefix"), bytes.Repeat([]byte{'x'}, 3000)...)
+	src = append(src, []byte("suffix")...)
+	roundTrip(t, src)
+}
+
+func TestRoundTripFarMatches(t *testing.T) {
+	// Matches beyond the 8 KiB window must not be used; data repeating at
+	// a distance just under and just over the window both round-trip.
+	unit := make([]byte, maxDistance-1)
+	rand.New(rand.NewSource(7)).Read(unit)
+	roundTrip(t, append(append([]byte{}, unit...), unit...))
+	unit2 := make([]byte, maxDistance+100)
+	rand.New(rand.NewSource(8)).Read(unit2)
+	roundTrip(t, append(append([]byte{}, unit2...), unit2...))
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src)
+		got, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripQuickStructured(t *testing.T) {
+	// Random data rarely has matches; build structured inputs too.
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, reps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		unit := make([]byte, r.Intn(300)+1)
+		for i := range unit {
+			unit[i] = "ACGTN\n>est"[r.Intn(10)]
+		}
+		src := bytes.Repeat(unit, int(reps%40)+1)
+		comp := Compress(nil, src)
+		got, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressesFASTALikeData(t *testing.T) {
+	// The paper compresses human EST nucleotide text; our stand-in must
+	// actually shrink that class of data meaningfully.
+	rng := rand.New(rand.NewSource(1))
+	var b bytes.Buffer
+	for i := 0; i < 500; i++ {
+		b.WriteString(">gi|synthetic est sequence\n")
+		for j := 0; j < 8; j++ {
+			line := make([]byte, 70)
+			for k := range line {
+				line[k] = "ACGT"[rng.Intn(4)]
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+	}
+	r := Ratio(b.Bytes())
+	if r < 1.3 {
+		t.Fatalf("FASTA-like ratio = %.2f, want >= 1.3", r)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0xff},            // match ctrl with no distance byte
+		{0x05, 'a'},       // literal run longer than remaining input
+		{0x20, 0x10},      // match distance beyond output start
+		{0xe0, 0x00},      // len3==7 but no extension byte
+		{0x00, 'a', 0xff}, // trailing truncated match
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestDecompressAppends(t *testing.T) {
+	comp := Compress(nil, []byte("world"))
+	out, err := Decompress([]byte("hello "), comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello world" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestEncodeBlockRoundTrip(t *testing.T) {
+	srcs := [][]byte{
+		nil,
+		[]byte("tiny"),
+		bytes.Repeat([]byte("ACGT"), 4096),
+		func() []byte { b := make([]byte, 4096); rand.New(rand.NewSource(3)).Read(b); return b }(),
+	}
+	for i, src := range srcs {
+		blk := EncodeBlock(src)
+		got, n, err := DecodeBlock(blk)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(blk) {
+			t.Fatalf("case %d: consumed %d of %d", i, n, len(blk))
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: mismatch", i)
+		}
+	}
+}
+
+func TestEncodeBlockStoredFallback(t *testing.T) {
+	src := make([]byte, 1000)
+	rand.New(rand.NewSource(5)).Read(src)
+	blk := EncodeBlock(src)
+	if len(blk) > len(src)+BlockHeaderSize {
+		t.Fatalf("incompressible block grew: %d > %d", len(blk), len(src)+BlockHeaderSize)
+	}
+	if blk[12] != 1 {
+		t.Fatal("random data should use a stored block")
+	}
+}
+
+func TestDecodeBlockStream(t *testing.T) {
+	var stream []byte
+	var want []byte
+	for i := 0; i < 5; i++ {
+		part := bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1))
+		want = append(want, part...)
+		stream = append(stream, EncodeBlock(part)...)
+	}
+	var got []byte
+	for len(stream) > 0 {
+		part, n, err := DecodeBlock(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, part...)
+		stream = stream[n:]
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("stream decode mismatch")
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	if _, _, err := DecodeBlock([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short block accepted")
+	}
+	blk := EncodeBlock([]byte("hello hello hello"))
+	blk[0] ^= 0xff
+	if _, _, err := DecodeBlock(blk); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	blk2 := EncodeBlock(bytes.Repeat([]byte("xy"), 500))
+	blk2[7] ^= 0x01 // corrupt origLen
+	if _, _, err := DecodeBlock(blk2); err == nil {
+		t.Fatal("bad origLen accepted")
+	}
+}
+
+func BenchmarkCompressFASTA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = "ACGT"[rng.Intn(4)]
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(nil, src)
+	}
+}
+
+func BenchmarkDecompressFASTA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = "ACGT"[rng.Intn(4)]
+	}
+	comp := Compress(nil, src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(nil, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package lzo
+
+import (
+	"errors"
+	"io"
+)
+
+// Streaming interfaces over the block format: Writer compresses an
+// io.Writer stream block by block; Reader decompresses a stream of framed
+// blocks. These wrap the same frames WriteCompressed produces, so a file
+// written through the pipeline can be read back as an io.Reader.
+
+// DefaultStreamBlock is the streaming compression unit.
+const DefaultStreamBlock = 256 << 10
+
+// Writer compresses written bytes into framed blocks on the underlying
+// writer. Close flushes the final partial block.
+type Writer struct {
+	w       io.Writer
+	block   []byte
+	fill    int
+	err     error
+	written int64 // compressed bytes emitted
+	input   int64 // raw bytes accepted
+}
+
+// NewWriter returns a streaming compressor with the given block size
+// (<= 0 uses DefaultStreamBlock).
+func NewWriter(w io.Writer, blockSize int) *Writer {
+	if blockSize <= 0 {
+		blockSize = DefaultStreamBlock
+	}
+	return &Writer{w: w, block: make([]byte, blockSize)}
+}
+
+// Write implements io.Writer.
+func (z *Writer) Write(p []byte) (int, error) {
+	if z.err != nil {
+		return 0, z.err
+	}
+	total := 0
+	for len(p) > 0 {
+		n := copy(z.block[z.fill:], p)
+		z.fill += n
+		p = p[n:]
+		total += n
+		if z.fill == len(z.block) {
+			if err := z.flushBlock(); err != nil {
+				return total, err
+			}
+		}
+	}
+	z.input += int64(total)
+	return total, nil
+}
+
+func (z *Writer) flushBlock() error {
+	if z.fill == 0 {
+		return nil
+	}
+	frame := EncodeBlock(z.block[:z.fill])
+	z.fill = 0
+	if _, err := z.w.Write(frame); err != nil {
+		z.err = err
+		return err
+	}
+	z.written += int64(len(frame))
+	return nil
+}
+
+// Close flushes the final partial block. The underlying writer is not
+// closed.
+func (z *Writer) Close() error {
+	if z.err != nil {
+		return z.err
+	}
+	if err := z.flushBlock(); err != nil {
+		return err
+	}
+	z.err = errors.New("lzo: writer closed")
+	return nil
+}
+
+// Stats returns (raw input bytes, compressed output bytes).
+func (z *Writer) Stats() (in, out int64) { return z.input, z.written }
+
+// Reader decompresses a stream of framed blocks.
+type Reader struct {
+	r    io.Reader
+	buf  []byte // decoded bytes not yet delivered
+	err  error
+	head [BlockHeaderSize]byte
+}
+
+// NewReader returns a streaming decompressor.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read implements io.Reader.
+func (z *Reader) Read(p []byte) (int, error) {
+	for len(z.buf) == 0 {
+		if z.err != nil {
+			return 0, z.err
+		}
+		if err := z.nextBlock(); err != nil {
+			z.err = err
+			if err == io.EOF && len(z.buf) > 0 {
+				break
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, z.buf)
+	z.buf = z.buf[n:]
+	return n, nil
+}
+
+func (z *Reader) nextBlock() error {
+	if _, err := io.ReadFull(z.r, z.head[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return ErrCorrupt
+		}
+		return err
+	}
+	compLen := int(uint32(z.head[8])<<24 | uint32(z.head[9])<<16 |
+		uint32(z.head[10])<<8 | uint32(z.head[11]))
+	frame := make([]byte, BlockHeaderSize+compLen)
+	copy(frame, z.head[:])
+	if _, err := io.ReadFull(z.r, frame[BlockHeaderSize:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrCorrupt
+		}
+		return err
+	}
+	orig, _, err := DecodeBlock(frame)
+	if err != nil {
+		return err
+	}
+	z.buf = orig
+	return nil
+}

@@ -1,0 +1,140 @@
+package lzo
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func streamRoundTrip(t *testing.T, src []byte, blockSize int, writeChunks int) {
+	t.Helper()
+	var sink bytes.Buffer
+	w := NewWriter(&sink, blockSize)
+	// Write in irregular chunks.
+	rest := src
+	for len(rest) > 0 {
+		n := writeChunks
+		if n <= 0 || n > len(rest) {
+			n = len(rest)
+		}
+		if wn, err := w.Write(rest[:n]); err != nil || wn != n {
+			t.Fatalf("write = %d, %v", wn, err)
+		}
+		rest = rest[n:]
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in, out := w.Stats()
+	if in != int64(len(src)) {
+		t.Fatalf("stats in = %d", in)
+	}
+	if out != int64(sink.Len()) {
+		t.Fatalf("stats out = %d vs sink %d", out, sink.Len())
+	}
+
+	got, err := io.ReadAll(NewReader(&sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("stream round trip mismatch: %d in, %d out", len(src), len(got))
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	fasta := make([]byte, 300_000)
+	for i := range fasta {
+		fasta[i] = "ACGT"[rng.Intn(4)]
+	}
+	cases := []struct {
+		name   string
+		src    []byte
+		block  int
+		chunks int
+	}{
+		{"empty", nil, 1024, 0},
+		{"tiny", []byte("x"), 1024, 0},
+		{"exact-block", bytes.Repeat([]byte("ab"), 512), 1024, 0},
+		{"fasta-small-chunks", fasta, 64 << 10, 333},
+		{"fasta-default-block", fasta, 0, 0},
+		{"random", func() []byte { b := make([]byte, 100_000); rng.Read(b); return b }(), 32 << 10, 7777},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			streamRoundTrip(t, c.src, c.block, c.chunks)
+		})
+	}
+}
+
+func TestStreamWriterAfterClose(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, 1024)
+	w.Write([]byte("data"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("more")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestStreamReaderTruncated(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, 1024)
+	w.Write(bytes.Repeat([]byte("data"), 1000))
+	w.Close()
+	full := sink.Bytes()
+
+	// Truncation mid-header and mid-payload both produce ErrCorrupt.
+	for _, cut := range []int{5, BlockHeaderSize + 3} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := io.ReadAll(r); err == nil {
+			t.Fatalf("cut=%d: truncated stream decoded", cut)
+		}
+	}
+}
+
+func TestStreamReaderSmallReads(t *testing.T) {
+	var sink bytes.Buffer
+	src := bytes.Repeat([]byte("streaming"), 5000)
+	w := NewWriter(&sink, 8<<10)
+	w.Write(src)
+	w.Close()
+
+	r := NewReader(&sink)
+	var got []byte
+	buf := make([]byte, 7) // deliberately awkward read size
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("small-read decode mismatch")
+	}
+}
+
+func TestStreamCompressesFASTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := make([]byte, 200_000)
+	for i := range src {
+		src[i] = "ACGT"[rng.Intn(4)]
+	}
+	var sink bytes.Buffer
+	w := NewWriter(&sink, 0)
+	w.Write(src)
+	w.Close()
+	if sink.Len() >= len(src)*3/4 {
+		t.Fatalf("stream did not compress: %d -> %d", len(src), sink.Len())
+	}
+}

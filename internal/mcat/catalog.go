@@ -1,0 +1,468 @@
+// Package mcat implements the Metadata Catalog service (MCAT) of the
+// Storage Resource Broker: the logical namespace of collections and data
+// objects, their attributes, and the mapping from logical paths to physical
+// objects on registered storage resources.
+package mcat
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Catalog errors.
+var (
+	ErrNotFound   = errors.New("mcat: no such entry")
+	ErrExists     = errors.New("mcat: entry already exists")
+	ErrNotDir     = errors.New("mcat: not a collection")
+	ErrIsDir      = errors.New("mcat: is a collection")
+	ErrNotEmpty   = errors.New("mcat: collection not empty")
+	ErrNoResource = errors.New("mcat: unknown resource")
+	ErrBadPath    = errors.New("mcat: invalid path")
+)
+
+// EntryType distinguishes data objects from collections.
+type EntryType uint8
+
+// Entry types.
+const (
+	TypeFile EntryType = iota
+	TypeCollection
+)
+
+func (t EntryType) String() string {
+	if t == TypeCollection {
+		return "collection"
+	}
+	return "file"
+}
+
+// Replica records one physical copy of a data object.
+type Replica struct {
+	Resource    string
+	PhysicalKey string
+}
+
+// Entry describes one logical namespace node.
+type Entry struct {
+	Path        string
+	Type        EntryType
+	Size        int64
+	Created     time.Time
+	Modified    time.Time
+	Resource    string // primary resource for files
+	PhysicalKey string // key in the primary resource's store
+	Attrs       map[string]string
+	Replicas    []Replica
+}
+
+func (e *Entry) clone() *Entry {
+	c := *e
+	if e.Attrs != nil {
+		c.Attrs = make(map[string]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	c.Replicas = append([]Replica(nil), e.Replicas...)
+	return &c
+}
+
+// ResourceInfo describes a registered storage resource.
+type ResourceInfo struct {
+	Name string
+	Kind string // e.g. "memory", "disk", "tape"
+	Host string
+}
+
+// Catalog is a thread-safe in-memory MCAT.
+type Catalog struct {
+	mu        sync.RWMutex
+	entries   map[string]*Entry
+	resources map[string]ResourceInfo
+	seq       uint64
+	now       func() time.Time
+}
+
+// New returns a catalog containing only the root collection "/".
+func New() *Catalog {
+	c := &Catalog{
+		entries:   make(map[string]*Entry),
+		resources: make(map[string]ResourceInfo),
+		now:       time.Now,
+	}
+	t := c.now()
+	c.entries["/"] = &Entry{Path: "/", Type: TypeCollection, Created: t, Modified: t}
+	return c
+}
+
+// Normalize canonicalizes a logical path; it must be absolute.
+func Normalize(p string) (string, error) {
+	if p == "" || !strings.HasPrefix(p, "/") {
+		return "", ErrBadPath
+	}
+	return path.Clean(p), nil
+}
+
+// RegisterResource adds a storage resource to the catalog.
+func (c *Catalog) RegisterResource(info ResourceInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resources[info.Name] = info
+}
+
+// Resources lists registered resources sorted by name.
+func (c *Catalog) Resources() []ResourceInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ResourceInfo, 0, len(c.resources))
+	for _, r := range c.resources {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HasResource reports whether a resource is registered.
+func (c *Catalog) HasResource(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.resources[name]
+	return ok
+}
+
+// CreateFile registers a new data object at the logical path on the given
+// resource, assigning a fresh physical key. The parent collection must
+// already exist.
+func (c *Catalog) CreateFile(p, resource string) (*Entry, error) {
+	p, err := Normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.resources[resource]; !ok {
+		return nil, ErrNoResource
+	}
+	if _, ok := c.entries[p]; ok {
+		return nil, ErrExists
+	}
+	if err := c.checkParent(p); err != nil {
+		return nil, err
+	}
+	c.seq++
+	t := c.now()
+	e := &Entry{
+		Path:        p,
+		Type:        TypeFile,
+		Created:     t,
+		Modified:    t,
+		Resource:    resource,
+		PhysicalKey: fmt.Sprintf("obj-%08d", c.seq),
+	}
+	c.entries[p] = e
+	c.touchParentLocked(p)
+	return e.clone(), nil
+}
+
+func (c *Catalog) checkParent(p string) error {
+	parent := path.Dir(p)
+	pe, ok := c.entries[parent]
+	if !ok {
+		return ErrNotFound
+	}
+	if pe.Type != TypeCollection {
+		return ErrNotDir
+	}
+	return nil
+}
+
+func (c *Catalog) touchParentLocked(p string) {
+	if pe, ok := c.entries[path.Dir(p)]; ok {
+		pe.Modified = c.now()
+	}
+}
+
+// Lookup returns a copy of the entry at the path.
+func (c *Catalog) Lookup(p string) (*Entry, error) {
+	p, err := Normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return e.clone(), nil
+}
+
+// Exists reports whether a path is present.
+func (c *Catalog) Exists(p string) bool {
+	_, err := c.Lookup(p)
+	return err == nil
+}
+
+// Mkdir creates a collection; the parent must exist.
+func (c *Catalog) Mkdir(p string) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[p]; ok {
+		return ErrExists
+	}
+	if err := c.checkParent(p); err != nil {
+		return err
+	}
+	t := c.now()
+	c.entries[p] = &Entry{Path: p, Type: TypeCollection, Created: t, Modified: t}
+	c.touchParentLocked(p)
+	return nil
+}
+
+// MkdirAll creates a collection and any missing ancestors.
+func (c *Catalog) MkdirAll(p string) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	var parts []string
+	for q := p; q != "/"; q = path.Dir(q) {
+		parts = append(parts, q)
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		switch err := c.Mkdir(parts[i]); err {
+		case nil, ErrExists:
+		default:
+			return err
+		}
+	}
+	// The leaf must be a collection.
+	e, err := c.Lookup(p)
+	if err != nil {
+		return err
+	}
+	if e.Type != TypeCollection {
+		return ErrNotDir
+	}
+	return nil
+}
+
+// Remove deletes a data object entry.
+func (c *Catalog) Remove(p string) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.Type == TypeCollection {
+		return ErrIsDir
+	}
+	delete(c.entries, p)
+	c.touchParentLocked(p)
+	return nil
+}
+
+// Rmdir deletes an empty collection.
+func (c *Catalog) Rmdir(p string) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return ErrNotEmpty
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.Type != TypeCollection {
+		return ErrNotDir
+	}
+	prefix := p + "/"
+	for q := range c.entries {
+		if strings.HasPrefix(q, prefix) {
+			return ErrNotEmpty
+		}
+	}
+	delete(c.entries, p)
+	c.touchParentLocked(p)
+	return nil
+}
+
+// List returns the direct children of a collection, sorted by path.
+func (c *Catalog) List(p string) ([]*Entry, error) {
+	p, err := Normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if e.Type != TypeCollection {
+		return nil, ErrNotDir
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	var out []*Entry
+	for q, ent := range c.entries {
+		if q == p || !strings.HasPrefix(q, prefix) {
+			continue
+		}
+		rest := q[len(prefix):]
+		if strings.Contains(rest, "/") {
+			continue // not a direct child
+		}
+		out = append(out, ent.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// SetSize records a data object's new size and bumps its mtime.
+func (c *Catalog) SetSize(p string, size int64) error {
+	return c.mutateFile(p, func(e *Entry) { e.Size = size; e.Modified = c.now() })
+}
+
+// GrowSize raises the recorded size to at least size (concurrent strided
+// writers from many cluster nodes race to extend the same file).
+func (c *Catalog) GrowSize(p string, size int64) error {
+	return c.mutateFile(p, func(e *Entry) {
+		if size > e.Size {
+			e.Size = size
+		}
+		e.Modified = c.now()
+	})
+}
+
+func (c *Catalog) mutateFile(p string, fn func(*Entry)) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.Type != TypeFile {
+		return ErrIsDir
+	}
+	fn(e)
+	return nil
+}
+
+// SetAttr attaches a metadata attribute to an entry.
+func (c *Catalog) SetAttr(p, key, value string) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.Attrs == nil {
+		e.Attrs = make(map[string]string)
+	}
+	e.Attrs[key] = value
+	return nil
+}
+
+// GetAttr fetches a metadata attribute.
+func (c *Catalog) GetAttr(p, key string) (string, error) {
+	e, err := c.Lookup(p)
+	if err != nil {
+		return "", err
+	}
+	v, ok := e.Attrs[key]
+	if !ok {
+		return "", ErrNotFound
+	}
+	return v, nil
+}
+
+// QueryAttr returns the paths of all entries whose attribute key equals
+// value, sorted. This is the (much simplified) MCAT query interface.
+func (c *Catalog) QueryAttr(key, value string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for p, e := range c.entries {
+		if e.Attrs[key] == value {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddReplica records an additional physical copy of a data object.
+func (c *Catalog) AddReplica(p string, r Replica) error {
+	return c.mutateFile(p, func(e *Entry) { e.Replicas = append(e.Replicas, r) })
+}
+
+// Rename moves a data object to a new logical path (same resource).
+func (c *Catalog) Rename(oldPath, newPath string) error {
+	op, err := Normalize(oldPath)
+	if err != nil {
+		return err
+	}
+	np, err := Normalize(newPath)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[op]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.Type != TypeFile {
+		return ErrIsDir
+	}
+	if _, ok := c.entries[np]; ok {
+		return ErrExists
+	}
+	if err := c.checkParent(np); err != nil {
+		return err
+	}
+	delete(c.entries, op)
+	e.Path = np
+	e.Modified = c.now()
+	c.entries[np] = e
+	return nil
+}
+
+// Len reports the number of entries including collections.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,267 @@
+package mcat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	c.RegisterResource(ResourceInfo{Name: "mem", Kind: "memory", Host: "orion"})
+	return c
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"/":           "/",
+		"/a/b":        "/a/b",
+		"/a//b/":      "/a/b",
+		"/a/./b/../c": "/a/c",
+	}
+	for in, want := range cases {
+		got, err := Normalize(in)
+		if err != nil || got != want {
+			t.Errorf("Normalize(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "relative", "a/b"} {
+		if _, err := Normalize(bad); err != ErrBadPath {
+			t.Errorf("Normalize(%q) = %v, want ErrBadPath", bad, err)
+		}
+	}
+}
+
+func TestCreateLookupRemove(t *testing.T) {
+	c := newTestCatalog(t)
+	e, err := c.CreateFile("/data.bin", "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PhysicalKey == "" || e.Resource != "mem" || e.Type != TypeFile {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := c.CreateFile("/data.bin", "mem"); err != ErrExists {
+		t.Fatalf("duplicate = %v", err)
+	}
+	if _, err := c.CreateFile("/data2", "nosuch"); err != ErrNoResource {
+		t.Fatalf("bad resource = %v", err)
+	}
+	if _, err := c.CreateFile("/missing/coll/f", "mem"); err != ErrNotFound {
+		t.Fatalf("missing parent = %v", err)
+	}
+
+	got, err := c.Lookup("/data.bin")
+	if err != nil || got.Path != "/data.bin" {
+		t.Fatalf("lookup: %v %+v", err, got)
+	}
+	// Mutating the returned copy must not affect the catalog.
+	got.Size = 9999
+	again, _ := c.Lookup("/data.bin")
+	if again.Size != 0 {
+		t.Fatal("Lookup returned a shared entry")
+	}
+
+	if err := c.Remove("/data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("/data.bin"); err != ErrNotFound {
+		t.Fatalf("after remove: %v", err)
+	}
+	if err := c.Remove("/data.bin"); err != ErrNotFound {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestCollections(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.Mkdir("/proj"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/proj"); err != ErrExists {
+		t.Fatalf("dup mkdir = %v", err)
+	}
+	if err := c.MkdirAll("/proj/run1/out"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile("/proj/run1/out/f1", "mem"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile("/proj/run1/out/f2", "mem"); err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := c.List("/proj/run1/out")
+	if err != nil || len(ls) != 2 {
+		t.Fatalf("list = %v, %v", ls, err)
+	}
+	if ls[0].Path != "/proj/run1/out/f1" || ls[1].Path != "/proj/run1/out/f2" {
+		t.Fatalf("list order: %v %v", ls[0].Path, ls[1].Path)
+	}
+	// Direct children only.
+	top, err := c.List("/proj")
+	if err != nil || len(top) != 1 || top[0].Path != "/proj/run1" {
+		t.Fatalf("top list = %+v, %v", top, err)
+	}
+
+	if err := c.Rmdir("/proj/run1/out"); err != ErrNotEmpty {
+		t.Fatalf("rmdir nonempty = %v", err)
+	}
+	if err := c.Remove("/proj/run1/out/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/proj/run1/out/f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/proj/run1/out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/"); err != ErrNotEmpty {
+		t.Fatalf("rmdir root = %v", err)
+	}
+	if err := c.Remove("/proj"); err != ErrIsDir {
+		t.Fatalf("remove collection = %v", err)
+	}
+	if _, err := c.List("/proj/run1/out"); err != ErrNotFound {
+		t.Fatalf("list removed = %v", err)
+	}
+}
+
+func TestMkdirAllOverFile(t *testing.T) {
+	c := newTestCatalog(t)
+	if _, err := c.CreateFile("/f", "mem"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MkdirAll("/f"); err != ErrNotDir {
+		t.Fatalf("MkdirAll over file = %v", err)
+	}
+}
+
+func TestSizesAndAttrs(t *testing.T) {
+	c := newTestCatalog(t)
+	c.CreateFile("/f", "mem")
+	if err := c.SetSize("/f", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GrowSize("/f", 50); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Lookup("/f")
+	if e.Size != 100 {
+		t.Fatalf("GrowSize shrank: %d", e.Size)
+	}
+	c.GrowSize("/f", 200)
+	e, _ = c.Lookup("/f")
+	if e.Size != 200 {
+		t.Fatalf("GrowSize didn't grow: %d", e.Size)
+	}
+
+	if err := c.SetAttr("/f", "owner", "alin"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.GetAttr("/f", "owner")
+	if err != nil || v != "alin" {
+		t.Fatalf("GetAttr = %q, %v", v, err)
+	}
+	if _, err := c.GetAttr("/f", "nope"); err != ErrNotFound {
+		t.Fatalf("missing attr = %v", err)
+	}
+	c.CreateFile("/g", "mem")
+	c.SetAttr("/g", "owner", "alin")
+	c.SetAttr("/g", "kind", "checkpoint")
+	got := c.QueryAttr("owner", "alin")
+	if len(got) != 2 || got[0] != "/f" || got[1] != "/g" {
+		t.Fatalf("QueryAttr = %v", got)
+	}
+	if err := c.SetSize("/nope", 1); err != ErrNotFound {
+		t.Fatalf("SetSize missing = %v", err)
+	}
+}
+
+func TestReplicasAndRename(t *testing.T) {
+	c := newTestCatalog(t)
+	c.RegisterResource(ResourceInfo{Name: "tape", Kind: "tape"})
+	c.CreateFile("/f", "mem")
+	if err := c.AddReplica("/f", Replica{Resource: "tape", PhysicalKey: "t-1"}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Lookup("/f")
+	if len(e.Replicas) != 1 || e.Replicas[0].Resource != "tape" {
+		t.Fatalf("replicas = %+v", e.Replicas)
+	}
+
+	if err := c.Rename("/f", "/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("/f"); err != ErrNotFound {
+		t.Fatal("old path survives rename")
+	}
+	e, err := c.Lookup("/renamed")
+	if err != nil || e.PhysicalKey == "" {
+		t.Fatalf("renamed entry: %+v, %v", e, err)
+	}
+	c.CreateFile("/other", "mem")
+	if err := c.Rename("/renamed", "/other"); err != ErrExists {
+		t.Fatalf("rename onto existing = %v", err)
+	}
+	if err := c.Rename("/missing", "/x"); err != ErrNotFound {
+		t.Fatalf("rename missing = %v", err)
+	}
+}
+
+func TestResources(t *testing.T) {
+	c := New()
+	c.RegisterResource(ResourceInfo{Name: "b"})
+	c.RegisterResource(ResourceInfo{Name: "a"})
+	rs := c.Resources()
+	if len(rs) != 2 || rs[0].Name != "a" || rs[1].Name != "b" {
+		t.Fatalf("resources = %+v", rs)
+	}
+	if !c.HasResource("a") || c.HasResource("zzz") {
+		t.Fatal("HasResource wrong")
+	}
+}
+
+func TestUniquePhysicalKeys(t *testing.T) {
+	c := newTestCatalog(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		e, err := c.CreateFile(fmt.Sprintf("/f%03d", i), "mem")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[e.PhysicalKey] {
+			t.Fatalf("duplicate physical key %s", e.PhysicalKey)
+		}
+		seen[e.PhysicalKey] = true
+	}
+}
+
+func TestConcurrentCatalog(t *testing.T) {
+	c := newTestCatalog(t)
+	c.Mkdir("/dir")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := fmt.Sprintf("/dir/g%d-f%d", g, i)
+				if _, err := c.CreateFile(p, "mem"); err != nil {
+					t.Errorf("create %s: %v", p, err)
+					return
+				}
+				c.SetSize(p, int64(i))
+				c.SetAttr(p, "g", fmt.Sprint(g))
+				c.Lookup(p)
+				c.List("/dir")
+			}
+		}(g)
+	}
+	wg.Wait()
+	ls, err := c.List("/dir")
+	if err != nil || len(ls) != 400 {
+		t.Fatalf("final list = %d entries, %v", len(ls), err)
+	}
+}

@@ -1,0 +1,181 @@
+package mpi
+
+import "fmt"
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (op Op) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.barMu.Lock()
+	defer w.barMu.Unlock()
+	if w.aborted.Load() {
+		panic(ErrAborted)
+	}
+	gen := w.barGen
+	w.barCnt++
+	if w.barCnt == w.size {
+		w.barCnt = 0
+		w.barGen++
+		w.barC.Broadcast()
+		return
+	}
+	for gen == w.barGen {
+		w.barC.Wait()
+		if w.aborted.Load() {
+			panic(ErrAborted)
+		}
+	}
+}
+
+// nextCollTag returns a fresh collective tag. All ranks must invoke
+// collectives in the same order (the standard MPI requirement), which keeps
+// the per-rank counters aligned.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return c.collSeq
+}
+
+func (c *Comm) collSend(dst, tag int, data []byte) {
+	c.world.checkRank(dst)
+	c.world.fabric.Transfer(c.rank, dst, len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.world.boxes[dst].put(message{ctx: ctxColl, src: c.rank, tag: tag, data: buf})
+}
+
+func (c *Comm) collRecv(src, tag int) []byte {
+	m := c.world.boxes[c.rank].take(ctxColl, src, tag)
+	return m.data
+}
+
+// Bcast distributes root's data to every rank and returns each rank's copy.
+// Non-root ranks may pass nil.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.world.checkRank(root)
+	tag := c.nextCollTag()
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.collSend(r, tag, data)
+			}
+		}
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out
+	}
+	return c.collRecv(root, tag)
+}
+
+// Reduce combines each rank's vector elementwise with op; the result is
+// returned at root (nil elsewhere). All vectors must have equal length.
+func (c *Comm) Reduce(root int, vals []float64, op Op) []float64 {
+	c.world.checkRank(root)
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.collSend(root, tag, encodeFloat64s(vals))
+		return nil
+	}
+	acc := append([]float64(nil), vals...)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		contrib := decodeFloat64s(c.collRecv(r, tag))
+		if len(contrib) != len(acc) {
+			panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(contrib), len(acc)))
+		}
+		for i := range acc {
+			acc[i] = op.apply(acc[i], contrib[i])
+		}
+	}
+	return acc
+}
+
+// Allreduce combines all ranks' vectors and returns the result everywhere.
+func (c *Comm) Allreduce(vals []float64, op Op) []float64 {
+	res := c.Reduce(0, vals, op)
+	var payload []byte
+	if c.rank == 0 {
+		payload = encodeFloat64s(res)
+	}
+	return decodeFloat64s(c.Bcast(0, payload))
+}
+
+// Gather collects each rank's data at root, indexed by rank (nil
+// elsewhere).
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.world.checkRank(root)
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.collSend(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.world.size)
+	own := make([]byte, len(data))
+	copy(own, data)
+	out[root] = own
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.collRecv(r, tag)
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns each rank's
+// part. Non-root ranks pass nil.
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	c.world.checkRank(root)
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(parts) != c.world.size {
+			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.world.size, len(parts)))
+		}
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.collSend(r, tag, parts[r])
+			}
+		}
+		own := make([]byte, len(parts[root]))
+		copy(own, parts[root])
+		return own
+	}
+	return c.collRecv(root, tag)
+}
+
+// AllreduceFloat64 is a scalar convenience over Allreduce.
+func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
+	return c.Allreduce([]float64{v}, op)[0]
+}

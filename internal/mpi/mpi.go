@@ -1,0 +1,203 @@
+// Package mpi is a small in-process message-passing runtime standing in
+// for mpich-1.2.6: ranks are goroutines, messages are matched on
+// (source, tag) in FIFO order, and the usual collectives are provided.
+// Interconnect cost is charged through a netsim.Fabric, so MPI traffic can
+// contend with remote I/O on the simulated node bus exactly as in the
+// paper's Section 7.1 experiment.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"semplar/internal/netsim"
+)
+
+// Any matches any source rank or any tag in Recv.
+const Any = -1
+
+// ErrAborted is the panic value ranks observe when the world aborts
+// because another rank failed.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// World holds the shared state of one MPI job.
+type World struct {
+	size    int
+	fabric  netsim.Fabric
+	boxes   []*mailbox
+	aborted atomic.Bool
+
+	barMu  sync.Mutex
+	barC   *sync.Cond
+	barCnt int
+	barGen int
+}
+
+// Comm is one rank's communicator handle. It is only valid inside the rank
+// function it was passed to.
+type Comm struct {
+	world   *World
+	rank    int
+	collSeq int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.size }
+
+// Run executes fn on size ranks with a zero-cost interconnect and blocks
+// until all complete. Errors and panics from any rank abort the world and
+// are collected into the returned error.
+func Run(size int, fn func(*Comm) error) error {
+	return RunOn(size, netsim.NullFabric{}, fn)
+}
+
+// RunOn is Run with an explicit interconnect fabric.
+func RunOn(size int, fabric netsim.Fabric, fn func(*Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	w := &World{size: size, fabric: fabric}
+	w.barC = sync.NewCond(&w.barMu)
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if p == ErrAborted {
+						errs[r] = ErrAborted
+						return
+					}
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", r, p, debug.Stack())
+					w.abort()
+				}
+			}()
+			if err := fn(&Comm{world: w, rank: r}); err != nil {
+				errs[r] = fmt.Errorf("mpi: rank %d: %w", r, err)
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var first error
+	for _, e := range errs {
+		if e != nil && e != ErrAborted {
+			if first == nil {
+				first = e
+			}
+		}
+	}
+	if first != nil {
+		return first
+	}
+	// Only secondary abort errors (shouldn't happen without a primary).
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func (w *World) abort() {
+	if w.aborted.Swap(true) {
+		return
+	}
+	for _, b := range w.boxes {
+		b.abort()
+	}
+	w.barMu.Lock()
+	w.barC.Broadcast()
+	w.barMu.Unlock()
+}
+
+func (w *World) checkRank(r int) {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.size))
+	}
+}
+
+// message context classes keep collective traffic from matching
+// point-to-point receives.
+const (
+	ctxP2P = iota
+	ctxColl
+)
+
+type message struct {
+	ctx  int
+	src  int
+	tag  int
+	data []byte
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	msgs    []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(ErrAborted)
+	}
+	b.msgs = append(b.msgs, m)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// take removes and returns the first message matching (ctx, src, tag),
+// blocking until one arrives.
+func (b *mailbox) take(ctx, src, tag int) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.aborted {
+			panic(ErrAborted)
+		}
+		for i, m := range b.msgs {
+			if m.ctx != ctx {
+				continue
+			}
+			if src != Any && m.src != src {
+				continue
+			}
+			if tag != Any && m.tag != tag {
+				continue
+			}
+			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			return m
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,391 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semplar/internal/netsim"
+)
+
+func TestRunBasics(t *testing.T) {
+	var count atomic.Int64
+	err := Run(5, func(c *Comm) error {
+		if c.Size() != 5 {
+			t.Errorf("size = %d", c.Size())
+		}
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 5 {
+		t.Fatalf("ran %d ranks", count.Load())
+	}
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("ping"))
+			data, src, tag := c.Recv(1, 8)
+			if string(data) != "pong" || src != 1 || tag != 8 {
+				return fmt.Errorf("got %q src=%d tag=%d", data, src, tag)
+			}
+		} else {
+			data, _, _ := c.Recv(0, 7)
+			if string(data) != "ping" {
+				return fmt.Errorf("got %q", data)
+			}
+			c.Send(0, 8, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySourceAndTagMatching(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				_, src, _ := c.Recv(Any, 5)
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				return fmt.Errorf("sources %v", seen)
+			}
+			// Tag-selective receive: tag 9 must arrive even though
+			// sent before a pending tag-5 probe would see it.
+			data, _, _ := c.Recv(Any, 9)
+			if string(data) != "tagged" {
+				return fmt.Errorf("tag recv got %q", data)
+			}
+			return nil
+		}
+		if c.Rank() == 1 {
+			c.Send(0, 9, []byte("tagged"))
+		}
+		c.Send(0, 5, []byte("hello"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSource(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.SendInt(1, 1, i)
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			v, _ := c.RecvInt(0, 1)
+			if v != i {
+				return fmt.Errorf("got %d want %d", v, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		partner := 1 - c.Rank()
+		got := c.SendRecv(partner, 3, []byte{byte(c.Rank())}, partner, 3)
+		if got[0] != byte(partner) {
+			return fmt.Errorf("rank %d got %d", c.Rank(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedMessages(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendFloat64s(1, 1, []float64{1.5, -2.25, math.Pi})
+			c.SendString(1, 2, "text message")
+			c.SendInt(1, 3, -42)
+			return nil
+		}
+		vals := c.RecvFloat64s(0, 1)
+		if len(vals) != 3 || vals[0] != 1.5 || vals[1] != -2.25 || vals[2] != math.Pi {
+			return fmt.Errorf("floats = %v", vals)
+		}
+		s, _ := c.RecvString(0, 2)
+		if s != "text message" {
+			return fmt.Errorf("string = %q", s)
+		}
+		v, _ := c.RecvInt(0, 3)
+		if v != -42 {
+			return fmt.Errorf("int = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const ranks = 6
+	var phase atomic.Int64
+	err := Run(ranks, func(c *Comm) error {
+		for iter := 0; iter < 20; iter++ {
+			phase.Add(1)
+			c.Barrier()
+			// After the barrier every rank must have bumped phase.
+			if got := phase.Load(); got < int64((iter+1)*ranks) {
+				return fmt.Errorf("iter %d: phase %d", iter, got)
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		var payload []byte
+		if c.Rank() == 2 {
+			payload = []byte("broadcast payload")
+		}
+		got := c.Bcast(2, payload)
+		if string(got) != "broadcast payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		// Mutating the received copy must not affect other ranks.
+		got[0] = 'X'
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	const n = 7
+	err := Run(n, func(c *Comm) error {
+		v := float64(c.Rank() + 1)
+		sum := c.Reduce(0, []float64{v, -v}, OpSum)
+		if c.Rank() == 0 {
+			want := float64(n * (n + 1) / 2)
+			if sum[0] != want || sum[1] != -want {
+				return fmt.Errorf("reduce = %v", sum)
+			}
+		} else if sum != nil {
+			return fmt.Errorf("non-root got %v", sum)
+		}
+		if got := c.AllreduceFloat64(v, OpMax); got != n {
+			return fmt.Errorf("allreduce max = %v", got)
+		}
+		if got := c.AllreduceFloat64(v, OpMin); got != 1 {
+			return fmt.Errorf("allreduce min = %v", got)
+		}
+		if got := c.AllreduceFloat64(2, OpProd); got != float64(int(1)<<n) {
+			return fmt.Errorf("allreduce prod = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		parts := c.Gather(1, []byte{byte(c.Rank() * 10)})
+		if c.Rank() == 1 {
+			for r, p := range parts {
+				if len(p) != 1 || p[0] != byte(r*10) {
+					return fmt.Errorf("gather[%d] = %v", r, p)
+				}
+			}
+		} else if parts != nil {
+			return errors.New("non-root gather result")
+		}
+
+		var scatterParts [][]byte
+		if c.Rank() == 0 {
+			for r := 0; r < 4; r++ {
+				scatterParts = append(scatterParts, bytes.Repeat([]byte{byte(r)}, r+1))
+			}
+		}
+		mine := c.Scatter(0, scatterParts)
+		if len(mine) != c.Rank()+1 || (len(mine) > 0 && mine[0] != byte(c.Rank())) {
+			return fmt.Errorf("scatter rank %d = %v", c.Rank(), mine)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	// Collective traffic must not be stolen by wildcard p2p receives.
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			got := c.Bcast(0, []byte("coll"))
+			data, _, _ := c.Recv(Any, Any)
+			if string(data) != "p2p" || string(got) != "coll" {
+				return fmt.Errorf("mixed up: %q %q", got, data)
+			}
+			return nil
+		}
+		got := c.Bcast(0, nil)
+		if string(got) != "coll" {
+			return fmt.Errorf("bcast = %q", got)
+		}
+		if c.Rank() == 1 {
+			c.Send(0, 1, []byte("p2p"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorAbortsWorld(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return errors.New("rank 0 exploded")
+		}
+		// These ranks would deadlock waiting forever without abort.
+		c.Recv(Any, Any)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 0 exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicAbortsWorld(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMasterWorkerPattern(t *testing.T) {
+	// The MPI-BLAST structure: master hands out work, workers request it.
+	const workers = 5
+	const jobs = 23
+	err := Run(workers+1, func(c *Comm) error {
+		const (
+			tagRequest = 1
+			tagWork    = 2
+			tagDone    = 3
+		)
+		if c.Rank() == 0 {
+			next := 0
+			doneWorkers := 0
+			results := 0
+			for doneWorkers < workers {
+				_, src, tag := c.Recv(Any, Any)
+				switch tag {
+				case tagRequest:
+					if next < jobs {
+						c.SendInt(src, tagWork, next)
+						next++
+					} else {
+						c.SendInt(src, tagWork, -1)
+						doneWorkers++
+					}
+				case tagDone:
+					results++
+				}
+			}
+			if results != jobs {
+				return fmt.Errorf("results = %d want %d", results, jobs)
+			}
+			return nil
+		}
+		for {
+			c.Send(0, tagRequest, nil)
+			job, _ := c.RecvInt(0, tagWork)
+			if job < 0 {
+				return nil
+			}
+			c.Send(0, tagDone, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricCharged(t *testing.T) {
+	// With a slow fabric, a large message takes measurable time.
+	prof := netsim.Loopback()
+	prof.ICRate = 4 * netsim.MBps
+	prof.ICLatency = 0
+	net := netsim.NewNetwork(prof, 2)
+	start := time.Now()
+	err := RunOn(2, net.Interconnect(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 1<<20)) // 1 MiB at 4 MiB/s ~ 250 ms
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 200*time.Millisecond {
+		t.Fatalf("fabric not charged: took %v", el)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("original")
+			c.Send(1, 1, buf)
+			copy(buf, "CLOBBER!")
+			c.Barrier()
+			return nil
+		}
+		c.Barrier()
+		data, _, _ := c.Recv(0, 1)
+		if string(data) != "original" {
+			return fmt.Errorf("send aliased caller buffer: %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package mpi
+
+// Nonblocking point-to-point (MPI_Isend / MPI_Irecv). As with the file
+// requests, the returned handles are completed by background goroutines
+// and reclaimed with Wait.
+
+// SendRequest tracks an MPI_Isend.
+type SendRequest struct {
+	done    chan struct{}
+	aborted bool
+}
+
+// Wait blocks until the send has been delivered. It panics with
+// ErrAborted if the world aborted while the send was in flight, matching
+// the blocking calls' behavior.
+func (r *SendRequest) Wait() {
+	<-r.done
+	if r.aborted {
+		panic(ErrAborted)
+	}
+}
+
+// Done reports completion without blocking.
+func (r *SendRequest) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ISend starts a nonblocking send. The data is copied immediately, so the
+// caller may reuse the buffer at once.
+func (c *Comm) ISend(dst, tag int, data []byte) *SendRequest {
+	c.world.checkRank(dst)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	req := &SendRequest{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		defer func() {
+			if p := recover(); p != nil {
+				if p == ErrAborted {
+					req.aborted = true
+					return
+				}
+				panic(p)
+			}
+		}()
+		c.world.fabric.Transfer(c.rank, dst, len(buf))
+		c.world.boxes[dst].put(message{ctx: ctxP2P, src: c.rank, tag: tag, data: buf})
+	}()
+	return req
+}
+
+// RecvRequest tracks an MPI_Irecv.
+type RecvRequest struct {
+	done    chan struct{}
+	data    []byte
+	src     int
+	tag     int
+	aborted bool
+}
+
+// Wait blocks until the receive matches and returns the payload with its
+// actual source and tag. Panics with ErrAborted on world abort.
+func (r *RecvRequest) Wait() (data []byte, src, tag int) {
+	<-r.done
+	if r.aborted {
+		panic(ErrAborted)
+	}
+	return r.data, r.src, r.tag
+}
+
+// Done reports completion without blocking.
+func (r *RecvRequest) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// IRecv starts a nonblocking receive matching src and tag (Any allowed).
+func (c *Comm) IRecv(src, tag int) *RecvRequest {
+	if src != Any {
+		c.world.checkRank(src)
+	}
+	req := &RecvRequest{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		defer func() {
+			if p := recover(); p != nil {
+				if p == ErrAborted {
+					req.aborted = true
+					return
+				}
+				panic(p)
+			}
+		}()
+		m := c.world.boxes[c.rank].take(ctxP2P, src, tag)
+		req.data, req.src, req.tag = m.data, m.src, m.tag
+	}()
+	return req
+}
+
+// WaitAllSends reclaims a batch of send requests.
+func WaitAllSends(reqs []*SendRequest) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"semplar/internal/netsim"
+)
+
+func TestISendIRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.ISend(1, 5, []byte("nonblocking"))
+			req.Wait()
+			if !req.Done() {
+				return fmt.Errorf("Done false after Wait")
+			}
+			return nil
+		}
+		req := c.IRecv(0, 5)
+		data, src, tag := req.Wait()
+		if string(data) != "nonblocking" || src != 0 || tag != 5 {
+			return fmt.Errorf("got %q src=%d tag=%d", data, src, tag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISendBufferReuse(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("original")
+			req := c.ISend(1, 1, buf)
+			copy(buf, "CLOBBER!") // legal immediately: ISend copies
+			req.Wait()
+			return nil
+		}
+		data, _, _ := c.Recv(0, 1)
+		if string(data) != "original" {
+			return fmt.Errorf("isend aliased buffer: %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRecvPostedBeforeSend(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.IRecv(1, 9)
+			if req.Done() {
+				return fmt.Errorf("IRecv done before any send")
+			}
+			c.Barrier()
+			data, _, _ := req.Wait()
+			if string(data) != "late" {
+				return fmt.Errorf("got %q", data)
+			}
+			return nil
+		}
+		c.Barrier()
+		c.Send(0, 9, []byte("late"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISendOverlapsFabricDelay(t *testing.T) {
+	// With a slow fabric, ISend returns immediately and overlaps the
+	// transfer with local work.
+	prof := netsim.Loopback()
+	prof.ICRate = 4 * netsim.MBps // 1 MiB -> ~250 ms
+	net0 := netsim.NewNetwork(prof, 2)
+	err := RunOn(2, net0.Interconnect(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			start := time.Now()
+			req := c.ISend(1, 1, make([]byte, 1<<20))
+			if el := time.Since(start); el > 50*time.Millisecond {
+				return fmt.Errorf("ISend blocked for %v", el)
+			}
+			time.Sleep(200 * time.Millisecond) // overlapped work
+			req.Wait()
+			if total := time.Since(start); total > 400*time.Millisecond {
+				return fmt.Errorf("no overlap: %v", total)
+			}
+			return nil
+		}
+		c.Recv(0, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingManyInFlight(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const n = 50
+		if c.Rank() == 0 {
+			var reqs []*SendRequest
+			for i := 0; i < n; i++ {
+				reqs = append(reqs, c.ISend(1, i, []byte{byte(i)}))
+			}
+			WaitAllSends(reqs)
+			return nil
+		}
+		// Receive in reverse tag order: all must match correctly.
+		for i := n - 1; i >= 0; i-- {
+			data, _, _ := c.IRecv(0, i).Wait()
+			if data[0] != byte(i) {
+				return fmt.Errorf("tag %d got %d", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingAbort(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return fmt.Errorf("deliberate failure")
+		}
+		// These IRecvs never match; Wait must panic with ErrAborted
+		// (recovered by Run) instead of hanging.
+		c.IRecv(0, 99).Wait()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

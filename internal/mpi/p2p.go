@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Send delivers data to rank dst with the given tag, charging the
+// interconnect fabric for the transfer. The slice is copied, so the caller
+// may reuse it immediately (MPI_Send semantics).
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.world.checkRank(dst)
+	if c.world.aborted.Load() {
+		panic(ErrAborted)
+	}
+	c.world.fabric.Transfer(c.rank, dst, len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.world.boxes[dst].put(message{ctx: ctxP2P, src: c.rank, tag: tag, data: buf})
+}
+
+// Recv blocks until a message from src (or Any) with tag (or Any) arrives
+// and returns its payload along with the actual source and tag.
+func (c *Comm) Recv(src, tag int) (data []byte, actualSrc, actualTag int) {
+	if src != Any {
+		c.world.checkRank(src)
+	}
+	m := c.world.boxes[c.rank].take(ctxP2P, src, tag)
+	return m.data, m.src, m.tag
+}
+
+// SendRecv exchanges messages with a partner rank without deadlocking.
+func (c *Comm) SendRecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Send(dst, sendTag, data)
+	}()
+	got, _, _ := c.Recv(src, recvTag)
+	<-done
+	return got
+}
+
+// SendFloat64s sends a float64 vector.
+func (c *Comm) SendFloat64s(dst, tag int, vals []float64) {
+	c.Send(dst, tag, encodeFloat64s(vals))
+}
+
+// RecvFloat64s receives a float64 vector.
+func (c *Comm) RecvFloat64s(src, tag int) []float64 {
+	data, _, _ := c.Recv(src, tag)
+	return decodeFloat64s(data)
+}
+
+// SendInt sends a single integer.
+func (c *Comm) SendInt(dst, tag, v int) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(int64(v)))
+	c.Send(dst, tag, b[:])
+}
+
+// RecvInt receives a single integer, returning the value and source rank.
+func (c *Comm) RecvInt(src, tag int) (v, actualSrc int) {
+	data, s, _ := c.Recv(src, tag)
+	if len(data) != 8 {
+		panic("mpi: RecvInt on non-int message")
+	}
+	return int(int64(binary.BigEndian.Uint64(data))), s
+}
+
+// SendString sends a string message.
+func (c *Comm) SendString(dst, tag int, s string) { c.Send(dst, tag, []byte(s)) }
+
+// RecvString receives a string message and its source.
+func (c *Comm) RecvString(src, tag int) (string, int) {
+	data, s, _ := c.Recv(src, tag)
+	return string(data), s
+}
+
+func encodeFloat64s(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeFloat64s(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(data[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package mpiio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semplar/internal/adio"
+	"semplar/internal/mpi"
+)
+
+func TestCollectiveHelpers(t *testing.T) {
+	// aggregators: spaced, capped.
+	if got := aggregators(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("aggregators(2) = %v", got)
+	}
+	if got := aggregators(16); len(got) != maxAggregators {
+		t.Fatalf("aggregators(16) = %v", got)
+	}
+
+	// domainSlice covers [lo,hi) exactly.
+	lo, hi := int64(100), int64(1000)
+	var prev int64 = 100
+	for i := 0; i < 4; i++ {
+		slo, shi := domainSlice(lo, hi, 4, i)
+		if slo != prev {
+			t.Fatalf("slice %d starts at %d, want %d", i, slo, prev)
+		}
+		prev = shi
+	}
+	if prev != hi {
+		t.Fatalf("slices end at %d, want %d", prev, hi)
+	}
+
+	// intersect.
+	if l, h := intersect(0, 10, 5, 20); l != 5 || h != 10 {
+		t.Fatalf("intersect = %d,%d", l, h)
+	}
+	if l, h := intersect(0, 10, 20, 30); h != l {
+		t.Fatalf("disjoint intersect = %d,%d", l, h)
+	}
+
+	// coalesce merges adjacent and overlapping extents.
+	exts := []extent{
+		{off: 100, data: []byte("bb")},
+		{off: 0, data: []byte("aa")},
+		{off: 2, data: []byte("cc")},
+		{off: 102, data: []byte("dd")},
+		{off: 101, data: []byte("xy")},
+	}
+	merged := coalesce(exts)
+	if len(merged) != 2 {
+		t.Fatalf("coalesce -> %d extents", len(merged))
+	}
+	if merged[0].off != 0 || string(merged[0].data) != "aacc" {
+		t.Fatalf("merged[0] = %+v", merged[0])
+	}
+	// Overlapping bytes resolve later-extent-wins: 100="bb", 101="xy",
+	// 102="dd" -> b,x,d,d.
+	if merged[1].off != 100 || string(merged[1].data) != "bxdd" {
+		t.Fatalf("merged[1] = %d %q", merged[1].off, merged[1].data)
+	}
+
+	// extent encoding round trip.
+	e, ok := decodeExtent(encodeExtent(extent{off: 7, data: []byte("data!")}))
+	if !ok || e.off != 7 || string(e.data) != "data!" {
+		t.Fatalf("extent round trip = %+v, %v", e, ok)
+	}
+	if _, ok := decodeExtent(nil); ok {
+		t.Fatal("empty extent decoded")
+	}
+}
+
+func TestWriteAtAllContiguous(t *testing.T) {
+	for _, np := range []int{2, 4, 7} {
+		mem := adio.NewMemFS()
+		reg := &adio.Registry{}
+		reg.Register(mem)
+		const chunk = 4 << 10
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			f, err := Open(c, reg, "mem:/coll", adio.O_RDWR|adio.O_CREATE, nil)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			data := bytes.Repeat([]byte{byte('a' + c.Rank())}, chunk)
+			n, err := f.WriteAtAll(c, data, int64(c.Rank()*chunk))
+			if err != nil || n != chunk {
+				return fmt.Errorf("rank %d: WriteAtAll = %d, %v", c.Rank(), n, err)
+			}
+			c.Barrier()
+			// Verify through an ordinary read.
+			buf := make([]byte, np*chunk)
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				return err
+			}
+			for r := 0; r < np; r++ {
+				if buf[r*chunk] != byte('a'+r) || buf[(r+1)*chunk-1] != byte('a'+r) {
+					return fmt.Errorf("rank %d sees bad stripe %d", c.Rank(), r)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+	}
+}
+
+func TestWriteAtAllStrided(t *testing.T) {
+	// Interleaved small records: rank r owns record i*np+r for all i —
+	// the access pattern two-phase I/O exists for.
+	const np = 4
+	const rec = 512
+	const recsPerRank = 8
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/strided", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Each rank writes its records one collective call at a time.
+		for i := 0; i < recsPerRank; i++ {
+			data := bytes.Repeat([]byte{byte('0' + c.Rank())}, rec)
+			off := int64((i*np + c.Rank()) * rec)
+			if _, err := f.WriteAtAll(c, data, off); err != nil {
+				return err
+			}
+		}
+		c.Barrier()
+		buf := make([]byte, np*recsPerRank*rec)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		for i := 0; i < np*recsPerRank; i++ {
+			want := byte('0' + i%np)
+			if buf[i*rec] != want {
+				return fmt.Errorf("record %d = %c want %c", i, buf[i*rec], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAtAll(t *testing.T) {
+	for _, np := range []int{2, 5} {
+		mem := adio.NewMemFS()
+		reg := &adio.Registry{}
+		reg.Register(mem)
+		const chunk = 2048
+		// Prepare the file.
+		f0, _ := mem.Open("/r", adio.O_RDWR|adio.O_CREATE, nil)
+		content := make([]byte, np*chunk)
+		rand.New(rand.NewSource(9)).Read(content)
+		f0.WriteAt(content, 0)
+		f0.Close()
+
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			f, err := Open(c, reg, "mem:/r", adio.O_RDONLY, nil)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			buf := make([]byte, chunk)
+			n, err := f.ReadAtAll(c, buf, int64(c.Rank()*chunk))
+			if err != nil || n != chunk {
+				return fmt.Errorf("rank %d: ReadAtAll = %d, %v", c.Rank(), n, err)
+			}
+			if !bytes.Equal(buf, content[c.Rank()*chunk:(c.Rank()+1)*chunk]) {
+				return fmt.Errorf("rank %d: wrong bytes", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+	}
+}
+
+func TestCollectiveBackToBack(t *testing.T) {
+	// Consecutive collectives must not steal each other's messages.
+	const np = 3
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/b2b", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for round := 0; round < 5; round++ {
+			data := bytes.Repeat([]byte{byte(round*np + c.Rank())}, 256)
+			off := int64(round*np*256 + c.Rank()*256)
+			if _, err := f.WriteAtAll(c, data, off); err != nil {
+				return err
+			}
+			got := make([]byte, 256)
+			if _, err := f.ReadAtAll(c, got, off); err != nil {
+				return err
+			}
+			if got[0] != byte(round*np+c.Rank()) {
+				return fmt.Errorf("round %d rank %d: cross-talk", round, c.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAtAllSingleRank(t *testing.T) {
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/solo", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteAtAll(c, []byte("solo"), 0); err != nil {
+			return err
+		}
+		buf := make([]byte, 4)
+		if _, err := f.ReadAtAll(c, buf, 0); err != nil {
+			return err
+		}
+		if string(buf) != "solo" {
+			return fmt.Errorf("got %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAtAllUnevenSizes(t *testing.T) {
+	// Ranks contribute different amounts at irregular offsets.
+	const np = 4
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	sizes := []int{100, 3000, 7, 1024}
+	offs := []int64{0, 100, 3100, 3107}
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/uneven", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		data := bytes.Repeat([]byte{byte('A' + c.Rank())}, sizes[c.Rank()])
+		if _, err := f.WriteAtAll(c, data, offs[c.Rank()]); err != nil {
+			return err
+		}
+		c.Barrier()
+		total := int(offs[np-1]) + sizes[np-1]
+		buf := make([]byte, total)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		for r := 0; r < np; r++ {
+			if buf[offs[r]] != byte('A'+r) || buf[int(offs[r])+sizes[r]-1] != byte('A'+r) {
+				return fmt.Errorf("rank %d region corrupted", r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteExtentsAll(t *testing.T) {
+	const np = 4
+	const rec = 256
+	const groups = 10
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/extall", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var exts []FileExtent
+		want := 0
+		for g := 0; g < groups; g++ {
+			exts = append(exts, FileExtent{
+				Off:  int64((g*np + c.Rank()) * rec),
+				Data: bytes.Repeat([]byte{byte('a' + c.Rank())}, rec),
+			})
+			want += rec
+		}
+		n, err := f.WriteExtentsAll(c, exts)
+		if err != nil || n != want {
+			return fmt.Errorf("rank %d: WriteExtentsAll = %d, %v", c.Rank(), n, err)
+		}
+		c.Barrier()
+		buf := make([]byte, np*groups*rec)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		for i := 0; i < np*groups; i++ {
+			wantB := byte('a' + i%np)
+			if buf[i*rec] != wantB || buf[(i+1)*rec-1] != wantB {
+				return fmt.Errorf("record %d corrupted", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteExtentsAllSingleRank(t *testing.T) {
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/solo-ext", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := f.WriteExtentsAll(c, []FileExtent{
+			{Off: 10, Data: []byte("one")},
+			{Off: 20, Data: []byte("two")},
+		})
+		if err != nil || n != 6 {
+			return fmt.Errorf("= %d, %v", n, err)
+		}
+		buf := make([]byte, 3)
+		f.ReadAt(buf, 20)
+		if string(buf) != "two" {
+			return fmt.Errorf("got %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteExtentsAllEmptyContribution(t *testing.T) {
+	// Some ranks contribute nothing; the collective must still complete.
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "mem:/sparse", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var exts []FileExtent
+		if c.Rank() == 1 {
+			exts = []FileExtent{{Off: 0, Data: []byte("only rank one")}}
+		}
+		if _, err := f.WriteExtentsAll(c, exts); err != nil {
+			return err
+		}
+		c.Barrier()
+		buf := make([]byte, 13)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		if string(buf) != "only rank one" {
+			return fmt.Errorf("got %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtentFrameCodec(t *testing.T) {
+	var msg []byte
+	msg = appendExtentFrame(msg, extent{off: 5, data: []byte("abc")})
+	msg = appendExtentFrame(msg, extent{off: 99, data: []byte("defgh")})
+	out := decodeExtentFrames(msg)
+	if len(out) != 2 || out[0].off != 5 || string(out[1].data) != "defgh" {
+		t.Fatalf("decoded %+v", out)
+	}
+	// Truncated tail is dropped, not panicked on.
+	if got := decodeExtentFrames(msg[:len(msg)-2]); len(got) != 1 {
+		t.Fatalf("truncated decode = %d extents", len(got))
+	}
+}

@@ -1,0 +1,88 @@
+package mpiio
+
+import (
+	"testing"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+func TestFileStatsBlocking(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/stats", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+
+	f.WriteAt(make([]byte, 1000), 0)
+	f.WriteAt(make([]byte, 500), 1000)
+	f.ReadAt(make([]byte, 300), 0)
+	f.Write(make([]byte, 200)) // pointer variant counts too
+	f.Seek(0, 0)
+	f.Read(make([]byte, 100))
+
+	st := f.Stats()
+	if st.Writes != 3 || st.BytesWritten != 1700 {
+		t.Fatalf("writes = %d / %d bytes", st.Writes, st.BytesWritten)
+	}
+	if st.Reads != 2 || st.BytesRead != 400 {
+		t.Fatalf("reads = %d / %d bytes", st.Reads, st.BytesRead)
+	}
+	if st.AsyncReads != 0 || st.AsyncWrites != 0 {
+		t.Fatalf("async counters moved: %+v", st)
+	}
+}
+
+func TestFileStatsAsync(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/astats", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+
+	var reqs []*Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, f.IWriteAt(make([]byte, 256), int64(i*256)))
+	}
+	reqs = append(reqs, f.IReadAt(make([]byte, 512), 0))
+	if _, err := WaitAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.AsyncWrites != 4 || st.BytesWritten != 1024 {
+		t.Fatalf("async writes = %d / %d", st.AsyncWrites, st.BytesWritten)
+	}
+	if st.AsyncReads != 1 || st.BytesRead != 512 {
+		t.Fatalf("async reads = %d / %d", st.AsyncReads, st.BytesRead)
+	}
+}
+
+func TestFileStatsBlockingTime(t *testing.T) {
+	// A metered server makes blocking time measurable; async calls must
+	// not add to it.
+	srv := srb.NewMemServer(storage.DeviceSpec{WriteRate: 10 * netsim.MBps})
+	reg := srbRegistry(srv)
+	f, err := OpenLocal(reg, "srb:/timed", adio.O_WRONLY|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	f.WriteAt(make([]byte, 1<<20), 0) // ~100 ms blocking
+	st := f.Stats()
+	if st.BlockingTime < 50*time.Millisecond {
+		t.Fatalf("blocking time = %v", st.BlockingTime)
+	}
+	before := st.BlockingTime
+
+	req := f.IWriteAt(make([]byte, 1<<20), 1<<20)
+	if _, err := Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	after := f.Stats()
+	if grew := after.BlockingTime - before; grew > 20*time.Millisecond {
+		t.Fatalf("async write charged %v of blocking time", grew)
+	}
+	if after.AsyncWrites != 1 {
+		t.Fatalf("async writes = %d", after.AsyncWrites)
+	}
+}

@@ -1,0 +1,326 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/core"
+	"semplar/internal/mpi"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+func memRegistry() *adio.Registry {
+	r := &adio.Registry{}
+	r.Register(adio.NewMemFS())
+	return r
+}
+
+func srbRegistry(srv *srb.Server) *adio.Registry {
+	r := &adio.Registry{}
+	fs, _ := core.NewSRBFS(core.SRBFSConfig{Dial: func() (net.Conn, error) {
+		c, s := netsim.Pipe(0, nil, nil)
+		go srv.ServeConn(s)
+		return c, nil
+	}})
+	r.Register(fs)
+	return r
+}
+
+func TestLocalOpenReadWrite(t *testing.T) {
+	reg := memRegistry()
+	f, err := OpenLocal(reg, "mem:/f", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := []byte("mpi-io layer")
+	if n, err := f.WriteAt(data, 5); err != nil || n != len(data) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch")
+	}
+	if sz, _ := f.Size(); sz != int64(5+len(data)) {
+		t.Fatalf("size = %d", sz)
+	}
+	if err := f.SetSize(5); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 5 {
+		t.Fatalf("size after SetSize = %d", sz)
+	}
+}
+
+func TestFilePointerSemantics(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/fp", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+	f.Write([]byte("aaaa"))
+	f.Write([]byte("bbbb"))
+	if f.Tell() != 8 {
+		t.Fatalf("fp = %d", f.Tell())
+	}
+	if pos, err := f.Seek(2, 0); err != nil || pos != 2 {
+		t.Fatalf("seek = %d, %v", pos, err)
+	}
+	buf := make([]byte, 4)
+	f.Read(buf)
+	if string(buf) != "aabb" {
+		t.Fatalf("read %q", buf)
+	}
+	if pos, _ := f.Seek(-2, 1); pos != 4 {
+		t.Fatalf("seek cur = %d", pos)
+	}
+	if pos, _ := f.Seek(0, 2); pos != 8 {
+		t.Fatalf("seek end = %d", pos)
+	}
+	if _, err := f.Seek(-99, 0); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := f.Seek(0, 9); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestAsyncExplicitOffset(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/async", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+	var reqs []*Request
+	for i := 0; i < 10; i++ {
+		data := bytes.Repeat([]byte{byte('0' + i)}, 100)
+		reqs = append(reqs, f.IWriteAt(data, int64(i*100)))
+	}
+	if n, err := WaitAll(reqs); err != nil || n != 1000 {
+		t.Fatalf("waitall = %d, %v", n, err)
+	}
+	got := make([]byte, 1000)
+	rr := f.IReadAt(got, 0)
+	if n, err := Wait(rr); err != nil || n != 1000 {
+		t.Fatalf("iread = %d, %v", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i*100] != byte('0'+i) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}
+
+func TestAsyncFilePointerAdvances(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/ifp", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+	// Consecutive IWrites must target consecutive regions even though
+	// neither has completed yet.
+	r1 := f.IWrite([]byte("first-"))
+	r2 := f.IWrite([]byte("second"))
+	if _, err := WaitAll([]*Request{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 12)
+	f.ReadAt(buf, 0)
+	if string(buf) != "first-second" {
+		t.Fatalf("got %q", buf)
+	}
+	if f.Tell() != 12 {
+		t.Fatalf("fp = %d", f.Tell())
+	}
+}
+
+func TestTestPolling(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/t", adio.O_RDWR|adio.O_CREATE, nil)
+	defer f.Close()
+	req := f.IWriteAt(make([]byte, 64), 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, done := Test(req); done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never completed")
+		}
+	}
+}
+
+func TestOpsAfterClose(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/c", adio.O_RDWR|adio.O_CREATE, nil)
+	f.Close()
+	if _, err := f.WriteAt([]byte("x"), 0); err != ErrClosed {
+		t.Fatalf("WriteAt = %v", err)
+	}
+	if _, err := Wait(f.IWriteAt([]byte("x"), 0)); err != ErrClosed {
+		t.Fatalf("IWriteAt = %v", err)
+	}
+	if _, err := Wait(f.IRead(make([]byte, 1))); err != ErrClosed {
+		t.Fatalf("IRead = %v", err)
+	}
+	if err := f.Close(); err != ErrClosed {
+		t.Fatalf("double close = %v", err)
+	}
+	if err := f.Sync(); err != ErrClosed {
+		t.Fatalf("sync = %v", err)
+	}
+}
+
+func TestIOThreadsHint(t *testing.T) {
+	reg := memRegistry()
+	f, err := OpenLocal(reg, "mem:/h", adio.O_RDWR|adio.O_CREATE,
+		adio.Hints{"io_threads": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Engine().Threads() != 3 {
+		t.Fatalf("threads = %d", f.Engine().Threads())
+	}
+	if _, err := OpenLocal(reg, "mem:/h2", adio.O_CREATE, adio.Hints{"io_threads": "x"}); err == nil {
+		t.Fatal("bad hint accepted")
+	}
+}
+
+func TestCollectiveOpenAllSucceed(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	reg := srbRegistry(srv)
+	const ranks = 4
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		f, err := Open(c, reg, "srb:/shared", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		stripe := bytes.Repeat([]byte{byte('a' + c.Rank())}, 512)
+		if _, err := f.WriteAt(stripe, int64(c.Rank()*512)); err != nil {
+			return err
+		}
+		c.Barrier()
+		// Every rank verifies the full file.
+		buf := make([]byte, ranks*512)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		for r := 0; r < ranks; r++ {
+			if buf[r*512] != byte('a'+r) {
+				return fmt.Errorf("rank %d sees corrupt stripe %d", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveOpenFailsEverywhere(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	reg := srbRegistry(srv)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		// Rank 1 tries a path that cannot be created (missing parent);
+		// all ranks must observe failure.
+		path := "srb:/ok"
+		if c.Rank() == 1 {
+			path = "srb:/no/such/collection/f"
+		}
+		f, err := Open(c, reg, path, adio.O_RDWR|adio.O_CREATE, nil)
+		if err == nil {
+			f.Close()
+			return fmt.Errorf("rank %d: open unexpectedly succeeded", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncOverlapWithCompute(t *testing.T) {
+	// The paper's headline mechanism through the MPI-IO interface:
+	// iwrite + compute + wait completes in ~max(io, compute) rather
+	// than the sum.
+	srv := srb.NewMemServer(storage.DeviceSpec{
+		WriteRate: 10 * netsim.MBps, // 100ms for 1 MiB
+	})
+	reg := srbRegistry(srv)
+	f, err := OpenLocal(reg, "srb:/overlap", adio.O_WRONLY|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	req := f.IWriteAt(payload, 0)
+	time.Sleep(100 * time.Millisecond) // "compute"
+	if _, err := Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	total := time.Since(start)
+	if total > 170*time.Millisecond {
+		t.Fatalf("no overlap: %v for 100ms IO + 100ms compute", total)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	reg := memRegistry()
+	f, _ := OpenLocal(reg, "mem:/mix", adio.O_RDWR|adio.O_CREATE,
+		adio.Hints{"io_threads": "4"})
+	defer f.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * 10000)
+			data := bytes.Repeat([]byte{byte(g)}, 1000)
+			var reqs []*Request
+			for i := 0; i < 10; i++ {
+				reqs = append(reqs, f.IWriteAt(data, base+int64(i*1000)))
+			}
+			if _, err := WaitAll(reqs); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	for g := 0; g < 8; g++ {
+		f.ReadAt(buf, int64(g*10000))
+		if buf[0] != byte(g) || buf[999] != byte(g) {
+			t.Fatalf("region %d corrupted", g)
+		}
+	}
+}
+
+func TestErrorsSurfaceThroughRequests(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	reg := srbRegistry(srv)
+	f, err := OpenLocal(reg, "srb:/ro", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f2, err := OpenLocal(reg, "srb:/ro", adio.O_RDONLY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if _, err := Wait(f2.IWriteAt([]byte("x"), 0)); !errors.Is(err, srb.ErrInvalid) {
+		t.Fatalf("write to read-only = %v", err)
+	}
+}

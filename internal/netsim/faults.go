@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Jitter adds random variation to one-way latency: each delivery is
+// delayed by OneWay + U(0, Spread). Jitter is what makes redundant
+// striping (Section 4.1's "first stream to arrive wins") pay off — on a
+// deterministic path every replica arrives simultaneously.
+type Jitter struct {
+	Spread time.Duration
+	Seed   int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter returns a jitter source with a deterministic seed.
+func NewJitter(spread time.Duration, seed int64) *Jitter {
+	return &Jitter{Spread: spread, Seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay draws one extra latency sample.
+func (j *Jitter) delay() time.Duration {
+	if j == nil || j.Spread <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(j.Seed))
+	}
+	return time.Duration(j.rng.Int63n(int64(j.Spread) + 1))
+}
+
+// WithJitter attaches a jitter source to a connection's send path; every
+// chunk's delivery time gains an independent sample.
+func (c *Conn) WithJitter(j *Jitter) *Conn {
+	c.jitter = j
+	return c
+}
+
+// FaultMode selects how a faulty connection fails.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultClose severs the connection: the peer sees EOF, local
+	// operations fail (a WAN drop / server crash).
+	FaultClose FaultMode = iota
+	// FaultStall stops delivering data without closing (a black-holed
+	// path); reads block until the connection is closed by its owner.
+	FaultStall
+)
+
+// FaultAfter arranges for the connection to fail after approximately n
+// more bytes have been written on it. It returns a channel closed when the
+// fault fires. Used by failure-injection tests up and down the stack.
+func (c *Conn) FaultAfter(n int, mode FaultMode) <-chan struct{} {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	c.faultBudget = n
+	c.faultMode = mode
+	c.faultArmed = true
+	c.faultFired = make(chan struct{})
+	return c.faultFired
+}
+
+// consumeFaultBudget accounts outgoing bytes and triggers the fault when
+// the budget is exhausted. It reports whether the write may proceed.
+func (c *Conn) consumeFaultBudget(n int) bool {
+	c.faultMu.Lock()
+	if c.stalled {
+		c.faultMu.Unlock()
+		return false // black hole swallows everything from now on
+	}
+	if !c.faultArmed {
+		c.faultMu.Unlock()
+		return true
+	}
+	c.faultBudget -= n
+	fire := c.faultBudget < 0
+	var fired chan struct{}
+	var mode FaultMode
+	if fire {
+		c.faultArmed = false
+		fired = c.faultFired
+		mode = c.faultMode
+		if mode == FaultStall {
+			c.stalled = true
+		}
+	}
+	c.faultMu.Unlock()
+	if !fire {
+		return true
+	}
+	close(fired)
+	if mode == FaultClose {
+		c.Close()
+	}
+	return false
+}

@@ -1,0 +1,369 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLimiterUnlimited(t *testing.T) {
+	var nilLim *Limiter
+	if d := nilLim.Reserve(1<<20, time.Now()); d != 0 {
+		t.Fatalf("nil limiter reserved %v, want 0", d)
+	}
+	l := NewLimiter(0)
+	if d := l.Reserve(1<<20, time.Now()); d != 0 {
+		t.Fatalf("unlimited limiter reserved %v, want 0", d)
+	}
+}
+
+func TestLimiterRate(t *testing.T) {
+	l := NewLimiter(1 * MBps)
+	now := time.Now()
+	// 1 MiB at 1 MiB/s takes 1 s.
+	d := l.Reserve(1<<20, now)
+	if got, want := d.Seconds(), 1.0; math.Abs(got-want) > 0.01 {
+		t.Fatalf("reserve of 1MiB at 1MiB/s = %v, want ~1s", d)
+	}
+	// A second reservation queues behind the first.
+	d2 := l.Reserve(1<<19, now)
+	if got, want := d2.Seconds(), 1.5; math.Abs(got-want) > 0.01 {
+		t.Fatalf("second reserve = %v, want ~1.5s", d2)
+	}
+}
+
+func TestLimiterIdleResets(t *testing.T) {
+	l := NewLimiter(1 * MBps)
+	now := time.Now()
+	l.Reserve(1<<20, now)
+	// After the virtual clock has passed, a new reservation starts fresh.
+	later := now.Add(5 * time.Second)
+	d := l.Reserve(1<<20, later)
+	if got := d.Seconds(); math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("reserve after idle = %v, want ~1s", d)
+	}
+}
+
+func TestLimiterMonotonic(t *testing.T) {
+	// Property: cumulative wait for k reservations of n bytes is
+	// k*n/rate regardless of how the bytes are split.
+	f := func(parts []uint16) bool {
+		l := NewLimiter(64 * MBps)
+		now := time.Now()
+		total := 0
+		var last time.Duration
+		for _, p := range parts {
+			n := int(p)%8192 + 1
+			total += n
+			last = l.Reserve(n, now)
+		}
+		want := float64(total) / (64 * MBps)
+		return math.Abs(last.Seconds()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimiterConcurrentSafety(t *testing.T) {
+	l := NewLimiter(1 * GBps)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Reserve(1024, time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(0, nil, nil)
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello remote i/o")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestPipeLargeTransferIntegrity(t *testing.T) {
+	a, b := Pipe(time.Millisecond, []Stage{NewLimiter(256 * MBps)}, nil)
+	defer a.Close()
+	defer b.Close()
+	const n = 6 << 20 // larger than maxInflight to exercise flow control
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	go func() {
+		a.Write(src)
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("readall: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("corrupted transfer: %d bytes vs %d", len(got), len(src))
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	a, b := Pipe(lat, nil, nil)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < lat {
+		t.Fatalf("delivery after %v, want >= %v", el, lat)
+	}
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	rate := 8.0 * MBps
+	a, b := Pipe(0, []Stage{NewLimiter(rate)}, nil)
+	defer a.Close()
+	defer b.Close()
+	const n = 2 << 20 // 2 MiB at 8 MiB/s -> ~250 ms
+	go func() {
+		a.Write(make([]byte, n))
+		a.Close()
+	}()
+	start := time.Now()
+	if _, err := io.Copy(io.Discard, b); err != nil {
+		t.Fatal(err)
+	}
+	el := time.Since(start).Seconds()
+	want := float64(n) / rate
+	if el < want*0.8 || el > want*2.0 {
+		t.Fatalf("transfer took %.3fs, want ~%.3fs", el, want)
+	}
+}
+
+func TestPipeCloseUnblocksReader(t *testing.T) {
+	a, b := Pipe(0, nil, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("read after peer close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+func TestPipeWriteAfterPeerClose(t *testing.T) {
+	a, b := Pipe(0, nil, nil)
+	b.Close()
+	// The push may succeed for buffered data, but eventually errors.
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		_, err = a.Write(make([]byte, 1024))
+	}
+	if err == nil {
+		t.Fatal("write into closed peer never failed")
+	}
+}
+
+func TestSharedLimiterContention(t *testing.T) {
+	// Two streams sharing one path limiter should together take about
+	// twice as long as one stream alone.
+	shared := NewLimiter(16 * MBps)
+	const n = 1 << 20
+	run := func(streams int) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < streams; i++ {
+			a, b := Pipe(0, []Stage{shared}, nil)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				io.Copy(io.Discard, b)
+			}()
+			go func(a *Conn) {
+				a.Write(make([]byte, n))
+				a.Close()
+			}(a)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	one := run(1)
+	two := run(2)
+	if two < one*3/2 {
+		t.Fatalf("shared path: 2 streams took %v vs 1 stream %v; expected ~2x", two, one)
+	}
+}
+
+func TestProfileStreamRate(t *testing.T) {
+	p := DAS2()
+	// 64 KiB / 182 ms ~ 360 KB/s, far below the 12.5 MB/s link.
+	got := p.StreamRate()
+	want := float64(p.Window) / p.RTT().Seconds()
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("StreamRate = %v want %v", got, want)
+	}
+	if got > p.LinkRate {
+		t.Fatal("window-limited rate should be below link rate on DAS-2")
+	}
+	lb := Loopback()
+	if lb.StreamRate() != lb.LinkRate && lb.RTT() != 0 {
+		t.Fatal("loopback should be link-limited")
+	}
+}
+
+func TestProfileScaledPreservesRatios(t *testing.T) {
+	p := DAS2()
+	s := p.Scaled(10)
+	if got, want := s.RTT(), p.RTT()/10; got != want {
+		t.Fatalf("scaled RTT = %v want %v", got, want)
+	}
+	// StreamRate/PathUpRate ratio must be preserved.
+	r0 := p.StreamRate() / p.PathUpRate
+	r1 := s.StreamRate() / s.PathUpRate
+	if math.Abs(r0-r1)/r0 > 1e-9 {
+		t.Fatalf("scaling changed stream/path ratio: %v vs %v", r0, r1)
+	}
+	if q := p.Scaled(1); q != p {
+		t.Fatal("Scaled(1) should be identity")
+	}
+}
+
+func TestNetworkDialCounts(t *testing.T) {
+	n := NewNetwork(Loopback(), 4)
+	c, s := n.Dial(2)
+	if n.Conns() != 1 {
+		t.Fatalf("conns = %d want 1", n.Conns())
+	}
+	c.Close()
+	s.Close()
+	if n.Conns() != 0 {
+		t.Fatalf("conns after close = %d want 0", n.Conns())
+	}
+	if n.Nodes() != 4 {
+		t.Fatalf("nodes = %d", n.Nodes())
+	}
+}
+
+func TestNetworkStreamWindowCap(t *testing.T) {
+	// A single stream over a scaled DAS-2 path must run at ~window/RTT,
+	// and two streams together at ~2x.
+	prof := DAS2().Scaled(20)
+	n := NewNetwork(prof, 1)
+	const payload = 2 << 20
+
+	oneStream := measureUp(t, n, 1, payload)
+	twoStream := measureUp(t, n, 2, payload)
+	if twoStream < oneStream*1.5 {
+		t.Fatalf("2 streams = %.0f B/s vs 1 stream %.0f B/s; want ~2x", twoStream, oneStream)
+	}
+}
+
+// measureUp pushes payload bytes from node 0 to the server over k parallel
+// connections and returns aggregate bytes/sec.
+func measureUp(t *testing.T, n *Network, k, payload int) float64 {
+	t.Helper()
+	// Establish connections before starting the clock so handshake
+	// RTTs do not pollute the bandwidth measurement.
+	conns := make([]*Conn, k)
+	for i := range conns {
+		c, s := n.Dial(0)
+		conns[i] = c.(*Conn)
+		defer s.Close()
+		go io.Copy(io.Discard, s)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *Conn) {
+			defer wg.Done()
+			c.Write(make([]byte, payload/k))
+			c.Close()
+		}(c)
+	}
+	wg.Wait()
+	return float64(payload) / time.Since(start).Seconds()
+}
+
+func TestBusContention(t *testing.T) {
+	// With a finite bus, concurrent interconnect traffic slows a WAN
+	// transfer from the same node.
+	prof := Loopback()
+	prof.BusRate = 8 * MBps
+	prof.ICRate = 1 * GBps
+	n := NewNetwork(prof, 2)
+
+	transfer := func(withMPI bool) time.Duration {
+		c, s := n.Dial(0)
+		defer s.Close()
+		done := make(chan struct{})
+		go func() {
+			io.Copy(io.Discard, s)
+			close(done)
+		}()
+		stop := make(chan struct{})
+		if withMPI {
+			go func() {
+				fab := n.Interconnect()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						fab.Transfer(0, 1, 256<<10)
+					}
+				}
+			}()
+		}
+		start := time.Now()
+		c.Write(make([]byte, 1<<20))
+		c.Close()
+		<-done
+		close(stop)
+		return time.Since(start)
+	}
+
+	alone := transfer(false)
+	contended := transfer(true)
+	if contended < alone*5/4 {
+		t.Fatalf("bus contention had no effect: alone=%v contended=%v", alone, contended)
+	}
+}
+
+func TestNullFabric(t *testing.T) {
+	start := time.Now()
+	NullFabric{}.Transfer(0, 1, 1<<30)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("NullFabric should be instantaneous")
+	}
+}

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network instantiates a Profile for a cluster of nodes talking to one SRB
+// server: the shared WAN path, the optional NAT host, the server NIC pool
+// and one I/O bus per node. Every connection dialed through the network
+// draws on the shared limiters, so concurrent streams contend exactly where
+// the real testbeds did.
+type Network struct {
+	prof     Profile
+	nodes    int
+	pathUp   *Limiter
+	pathDown *Limiter
+	natUp    *Limiter
+	natDown  *Limiter
+	srvUp    *Limiter // toward server (ingress NIC)
+	srvDown  *Limiter // from server (egress NIC)
+	buses    []*Bus
+	icByNode []*Limiter // MPI interconnect injection per node
+
+	mu        sync.Mutex
+	conns     int
+	jitterSeq int64
+}
+
+// NewNetwork builds the shared fabric for a cluster of the given size.
+func NewNetwork(prof Profile, nodes int) *Network {
+	if nodes < 1 {
+		nodes = 1
+	}
+	n := &Network{prof: prof, nodes: nodes}
+	if prof.PathUpRate > 0 {
+		n.pathUp = NewLimiter(prof.PathUpRate)
+	}
+	if prof.PathDownRate > 0 {
+		n.pathDown = NewLimiter(prof.PathDownRate)
+	}
+	if prof.NATRate > 0 {
+		n.natUp = NewLimiter(prof.NATRate)
+		n.natDown = NewLimiter(prof.NATRate)
+	}
+	if prof.ServerNICRate > 0 {
+		n.srvUp = NewLimiter(prof.ServerNICRate)
+		n.srvDown = NewLimiter(prof.ServerNICRate)
+	}
+	penalty := prof.BusPenalty
+	if penalty == 0 {
+		penalty = 1.0
+	}
+	n.buses = make([]*Bus, nodes)
+	n.icByNode = make([]*Limiter, nodes)
+	for i := range n.buses {
+		n.buses[i] = NewBusPenalty(prof.BusRate, penalty)
+		if prof.ICRate > 0 {
+			n.icByNode[i] = NewLimiter(prof.ICRate)
+		}
+	}
+	return n
+}
+
+// Profile returns the profile the network was built from.
+func (n *Network) Profile() Profile { return n.prof }
+
+// Nodes returns the cluster size.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Bus returns node i's I/O bus (never nil; may be infinite).
+func (n *Network) Bus(node int) *Bus { return n.buses[n.clamp(node)] }
+
+func (n *Network) clamp(node int) int {
+	if node < 0 || node >= n.nodes {
+		return 0
+	}
+	return node
+}
+
+// Conns reports how many shaped connections are currently open.
+func (n *Network) Conns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conns
+}
+
+// Dial opens a new shaped connection from the given node to the server,
+// charging one RTT of connection setup, and returns both endpoints. The
+// caller hands the server end to the SRB server (srb.Server.ServeConn).
+func (n *Network) Dial(node int) (client, server net.Conn) {
+	node = n.clamp(node)
+	if rtt := n.prof.RTT(); rtt > 0 {
+		time.Sleep(rtt) // TCP handshake
+	}
+	stream := n.prof.StreamRate()
+	var upStream, downStream *Limiter
+	if stream > 0 {
+		upStream = NewLimiter(stream)
+		downStream = NewLimiter(stream)
+	}
+	bus := n.buses[node].Stage(BusClassIO)
+	up := compact(upStream, bus, n.natUp, n.pathUp, n.srvUp)
+	down := compact(downStream, n.srvDown, n.pathDown, n.natDown, bus)
+	c, s := Pipe(n.prof.OneWay, up, down)
+	c.name = fmt.Sprintf("%s/node%d", n.prof.Name, node)
+	n.mu.Lock()
+	n.conns++
+	if n.prof.LatencyJitter > 0 {
+		// Independent per-direction jitter sources with deterministic
+		// per-connection seeds.
+		n.jitterSeq++
+		c.WithJitter(NewJitter(n.prof.LatencyJitter, n.jitterSeq))
+		s.WithJitter(NewJitter(n.prof.LatencyJitter, n.jitterSeq+1<<32))
+	}
+	n.mu.Unlock()
+	c.OnClose(func() {
+		n.mu.Lock()
+		n.conns--
+		n.mu.Unlock()
+	})
+	return c, s
+}
+
+func compact(ls ...interface{}) []Stage {
+	var out []Stage
+	for _, l := range ls {
+		switch v := l.(type) {
+		case nil:
+		case *Limiter:
+			if v != nil {
+				out = append(out, v)
+			}
+		case Stage:
+			if v != nil {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Fabric carries MPI traffic between ranks; it is the seam through which
+// interconnect cost and bus contention reach the MPI runtime.
+type Fabric interface {
+	// Transfer accounts for nbytes moving from rank src to rank dst and
+	// blocks for the modeled duration.
+	Transfer(src, dst, nbytes int)
+}
+
+// Interconnect returns a Fabric that draws MPI traffic through each node's
+// interconnect NIC and I/O bus. With Profile.BusRate set, MPI traffic and
+// remote I/O traffic contend on the bus — the Section 7.1 effect.
+func (n *Network) Interconnect() Fabric { return &icFabric{net: n} }
+
+type icFabric struct{ net *Network }
+
+func (f *icFabric) Transfer(src, dst, nbytes int) {
+	n := f.net
+	src, dst = n.clamp(src), n.clamp(dst)
+	if src == dst {
+		return // intra-node move through shared memory
+	}
+	if lat := n.prof.ICLatency; lat > 0 {
+		time.Sleep(lat)
+	}
+	if nbytes <= 0 {
+		return
+	}
+	lims := compact(n.icByNode[src], n.icByNode[dst],
+		n.buses[src].Stage(BusClassMPI), n.buses[dst].Stage(BusClassMPI))
+	if wait := reserveAll(lims, nbytes, time.Now()); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// NullFabric is a Fabric with zero cost, for functional tests.
+type NullFabric struct{}
+
+// Transfer implements Fabric with no delay.
+func (NullFabric) Transfer(src, dst, nbytes int) {}

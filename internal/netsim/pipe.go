@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned for operations on a closed shaped connection.
+var ErrClosed = errors.New("netsim: connection closed")
+
+// chunkSize is the granularity at which writes are serialized through the
+// limiters. Small enough that concurrent streams interleave fairly, large
+// enough that per-chunk sleep overshoot stays negligible relative to the
+// chunk's own serialization time.
+const chunkSize = 64 << 10
+
+// maxInflight bounds the bytes buffered between a sender and its peer's
+// reader, standing in for the TCP send/receive buffers. Writers block once
+// the peer falls this far behind, which is the flow control that keeps a
+// fast producer from absorbing an entire file into memory.
+const maxInflight = 4 << 20
+
+type segment struct {
+	data []byte
+	at   time.Time // earliest delivery time (send completion + latency)
+}
+
+// halfPipe is the receive queue of one direction of a Conn.
+type halfPipe struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	segs     []segment
+	buffered int   // bytes queued and not yet read
+	closed   bool  // write side closed: drain then EOF
+	rerr     error // read side closed: fail immediately
+}
+
+func newHalfPipe() *halfPipe {
+	h := &halfPipe{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *halfPipe) read(p []byte) (int, error) {
+	h.mu.Lock()
+	for {
+		if h.rerr != nil {
+			h.mu.Unlock()
+			return 0, h.rerr
+		}
+		if len(h.segs) > 0 {
+			now := time.Now()
+			if head := h.segs[0]; head.at.After(now) {
+				// Head not yet "arrived": wait out the latency
+				// without holding the lock.
+				h.mu.Unlock()
+				time.Sleep(head.at.Sub(now))
+				h.mu.Lock()
+				continue
+			}
+			// Drain every segment that has already arrived, so a
+			// large read pays at most one latency sleep.
+			n := 0
+			for n < len(p) && len(h.segs) > 0 && !h.segs[0].at.After(now) {
+				seg := h.segs[0]
+				c := copy(p[n:], seg.data)
+				n += c
+				if c == len(seg.data) {
+					h.segs[0].data = nil
+					h.segs = h.segs[1:]
+				} else {
+					h.segs[0].data = seg.data[c:]
+				}
+			}
+			h.buffered -= n
+			h.cond.Broadcast() // wake writers blocked on flow control
+			h.mu.Unlock()
+			return n, nil
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return 0, io.EOF
+		}
+		h.cond.Wait()
+	}
+}
+
+// push enqueues data for delivery at time at, blocking while the inflight
+// window is full. It reports false if the receiving side has been closed.
+func (h *halfPipe) push(data []byte, at time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.buffered >= maxInflight && h.rerr == nil && !h.closed {
+		h.cond.Wait()
+	}
+	if h.rerr != nil || h.closed {
+		return false
+	}
+	h.segs = append(h.segs, segment{data: data, at: at})
+	h.buffered += len(data)
+	h.cond.Broadcast()
+	return true
+}
+
+func (h *halfPipe) closeWrite() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *halfPipe) closeRead(err error) {
+	h.mu.Lock()
+	h.rerr = err
+	h.segs = nil
+	h.buffered = 0
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Conn is one endpoint of a shaped duplex pipe. It implements net.Conn so
+// the SRB client and server run unchanged over real TCP or the simulator.
+type Conn struct {
+	name    string
+	recv    *halfPipe // data arriving at this endpoint
+	peer    *halfPipe // data departing toward the other endpoint
+	latency time.Duration
+	lims    []Stage // serialization stages on the send path
+	jitter  *Jitter // optional extra delivery delay
+
+	faultMu     sync.Mutex
+	faultArmed  bool
+	faultBudget int
+	faultMode   FaultMode
+	faultFired  chan struct{}
+	stalled     bool
+
+	closeOnce sync.Once
+	onClose   func()
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Pipe returns a connected pair of shaped endpoints. Data written on a
+// flows to b after being serialized through aToB's limiters plus the
+// one-way latency, and symmetrically for b.
+func Pipe(latency time.Duration, aToB, bToA []Stage) (a, b *Conn) {
+	ab := newHalfPipe() // data heading to b
+	ba := newHalfPipe() // data heading to a
+	a = &Conn{name: "a", recv: ba, peer: ab, latency: latency, lims: aToB}
+	b = &Conn{name: "b", recv: ab, peer: ba, latency: latency, lims: bToA}
+	return a, b
+}
+
+// Read reads delivered bytes, blocking until data arrives or the peer
+// closes the connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return c.recv.read(p)
+}
+
+// Write shapes p through the send-path limiters in chunkSize pieces and
+// schedules each piece for delivery one latency later.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > chunkSize {
+			n = chunkSize
+		}
+		if wait := reserveAll(c.lims, n, time.Now()); wait > 0 {
+			time.Sleep(wait)
+		}
+		if !c.consumeFaultBudget(n) {
+			if c.faultMode == FaultStall {
+				// Black hole: pretend the write succeeded.
+				p = p[n:]
+				total += n
+				continue
+			}
+			return total, ErrClosed
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		if !c.peer.push(data, time.Now().Add(c.latency+c.jitter.delay())) {
+			return total, ErrClosed
+		}
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Close tears down both directions at this endpoint: the peer drains what
+// was already sent and then sees EOF; local reads fail immediately.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.peer.closeWrite()
+		c.recv.closeRead(ErrClosed)
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+	return nil
+}
+
+// OnClose registers a hook invoked once when the connection closes.
+func (c *Conn) OnClose(fn func()) { c.onClose = fn }
+
+type simAddr string
+
+func (a simAddr) Network() string { return "netsim" }
+func (a simAddr) String() string  { return string(a) }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return simAddr("sim:" + c.name) }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return simAddr("sim:peer") }
+
+// SetDeadline is accepted but not enforced; the simulator's traffic always
+// progresses, so deadlines are unnecessary for the protocols built on it.
+func (c *Conn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn as a no-op.
+func (c *Conn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }

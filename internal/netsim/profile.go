@@ -1,0 +1,161 @@
+package netsim
+
+import "time"
+
+// Byte-rate convenience units (bytes per second).
+const (
+	KBps = 1 << 10
+	MBps = 1 << 20
+	GBps = 1 << 30
+)
+
+// Profile parameterizes the network path between one client cluster and the
+// SRB server, mirroring the three testbeds of Section 5.
+type Profile struct {
+	Name string
+
+	// OneWay is the one-way WAN latency between cluster and server.
+	OneWay time.Duration
+
+	// LatencyJitter adds U(0, LatencyJitter) to each delivery. Distinct
+	// streams draw independent samples, so redundant transfers on
+	// multiple streams see different arrival times (Section 4.1).
+	LatencyJitter time.Duration
+
+	// Window is the TCP window per stream in bytes. Steady-state
+	// throughput of a single stream is min(LinkRate, Window/RTT); the
+	// 2006-era untuned default of 64 KiB is what makes one stream far
+	// slower than the path and the split-TCP optimization worthwhile.
+	Window int
+
+	// LinkRate is the per-node Ethernet NIC rate toward the WAN.
+	LinkRate float64
+
+	// PathUpRate / PathDownRate are the shared wide-area capacities in
+	// the client->server and server->client directions. Uplinks of the
+	// era were the tighter of the two, which is what caps write gains
+	// below read gains in Figure 8. Zero means unlimited.
+	PathUpRate   float64
+	PathDownRate float64
+
+	// NATRate, when non-zero, is the aggregate capacity of a NAT host
+	// all node connections must traverse (the OSC P4 configuration).
+	NATRate float64
+
+	// ServerNICRate is the aggregate capacity of the server's network
+	// interfaces (orion.sdsc.edu had 6 data GigE ports).
+	ServerNICRate float64
+
+	// BusRate is the per-node I/O bus capacity shared by the MPI
+	// interconnect and the Ethernet NIC. Zero disables bus contention.
+	BusRate float64
+
+	// BusPenalty is the fractional extra cost per byte while both bus
+	// traffic classes are concurrently active (arbitration, interrupt
+	// overhead). Zero means a default of 1.0 when BusRate is set.
+	BusPenalty float64
+
+	// ICRate and ICLatency describe the MPI interconnect (Myrinet on
+	// DAS-2, Gigabit elsewhere): per-node injection rate and small
+	// message latency.
+	ICRate    float64
+	ICLatency time.Duration
+}
+
+// RTT returns the round-trip time of the WAN path.
+func (p Profile) RTT() time.Duration { return 2 * p.OneWay }
+
+// StreamRate returns the steady-state throughput of one TCP stream:
+// min(LinkRate, Window/RTT).
+func (p Profile) StreamRate() float64 {
+	if p.RTT() <= 0 {
+		return p.LinkRate
+	}
+	wr := float64(p.Window) / p.RTT().Seconds()
+	if p.LinkRate > 0 && p.LinkRate < wr {
+		return p.LinkRate
+	}
+	return wr
+}
+
+// Scaled returns a profile whose time constants are divided by f and whose
+// rates are multiplied by f. Every bandwidth ratio in the system — stream
+// vs. path, path vs. device, interconnect vs. NIC — is preserved, so the
+// shape of each experiment survives while wall-clock time shrinks by f.
+func (p Profile) Scaled(f float64) Profile {
+	if f <= 0 || f == 1 {
+		return p
+	}
+	q := p
+	q.OneWay = time.Duration(float64(p.OneWay) / f)
+	q.LatencyJitter = time.Duration(float64(p.LatencyJitter) / f)
+	q.ICLatency = time.Duration(float64(p.ICLatency) / f)
+	q.LinkRate *= f
+	q.PathUpRate *= f
+	q.PathDownRate *= f
+	q.NATRate *= f
+	q.ServerNICRate *= f
+	q.BusRate *= f
+	q.ICRate *= f
+	return q
+}
+
+// The three testbeds of Section 5, parameterized at "real" (unscaled)
+// magnitudes. Harnesses normally run them through Scaled().
+
+// DAS2 is the Vrije Universiteit cluster: ~182 ms RTT transoceanic path,
+// 100 Mb/s node links, Myrinet interconnect. High latency, low bandwidth.
+func DAS2() Profile {
+	return Profile{
+		Name:          "DAS-2",
+		OneWay:        91 * time.Millisecond,
+		Window:        64 << 10,
+		LinkRate:      12.5 * MBps, // 100 Mb/s Fast Ethernet
+		PathUpRate:    4 * MBps,    // transoceanic uplink share
+		PathDownRate:  30 * MBps,
+		ServerNICRate: 750 * MBps, // 6 x GigE on orion
+		ICRate:        240 * MBps, // Myrinet
+		ICLatency:     8 * time.Microsecond,
+	}
+}
+
+// OSC is the Ohio Supercomputer Center P4 Xeon cluster: ~30 ms RTT to SDSC,
+// nodes behind a NAT host that serializes all outside traffic.
+func OSC() Profile {
+	return Profile{
+		Name:          "OSC",
+		OneWay:        15 * time.Millisecond,
+		Window:        64 << 10,
+		LinkRate:      125 * MBps, // GigE
+		PathUpRate:    40 * MBps,
+		PathDownRate:  80 * MBps,
+		NATRate:       12 * MBps, // shared NAT host
+		ServerNICRate: 750 * MBps,
+		ICRate:        125 * MBps,
+		ICLatency:     20 * time.Microsecond,
+	}
+}
+
+// TGNCSA is the NCSA TeraGrid cluster: ~30 ms RTT over the 40 Gb/s TeraGrid
+// backbone, GigE node links.
+func TGNCSA() Profile {
+	return Profile{
+		Name:          "TG-NCSA",
+		OneWay:        15 * time.Millisecond,
+		Window:        64 << 10,
+		LinkRate:      125 * MBps,
+		PathUpRate:    12 * MBps, // server-side ingest share
+		PathDownRate:  30 * MBps,
+		ServerNICRate: 750 * MBps,
+		ICRate:        125 * MBps,
+		ICLatency:     20 * time.Microsecond,
+	}
+}
+
+// Profiles returns the three paper testbeds in presentation order.
+func Profiles() []Profile { return []Profile{DAS2(), OSC(), TGNCSA()} }
+
+// Loopback is an essentially unconstrained profile for functional tests.
+func Loopback() Profile {
+	return Profile{Name: "loopback", Window: 1 << 30}
+}

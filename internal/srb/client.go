@@ -1,0 +1,397 @@
+package srb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a client connection to an SRB server. One request is outstanding
+// at a time per connection (as in the real SRB); the library obtains
+// parallelism by opening several connections, which is the lever the
+// paper's multi-stream optimization pulls.
+type Conn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	seq  uint32
+	err  error // sticky transport error
+	user string
+}
+
+// NewConn performs the connect handshake over an established transport.
+func NewConn(c net.Conn, user string) (*Conn, error) {
+	conn := &Conn{
+		c:    c,
+		br:   bufio.NewReaderSize(c, 64<<10),
+		bw:   bufio.NewWriterSize(c, 64<<10),
+		user: user,
+	}
+	resp, err := conn.call(&request{op: opConnect, path: user})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if resp.value != protoVer {
+		c.Close()
+		return nil, fmt.Errorf("%w: server protocol %d", ErrProtocol, resp.value)
+	}
+	return conn, nil
+}
+
+// Dial connects to a server over TCP and performs the handshake.
+func Dial(addr, user string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c, user)
+}
+
+// ErrConnClosed is returned for calls on a closed client connection.
+var ErrConnClosed = fmt.Errorf("srb: connection closed")
+
+// Close terminates the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = ErrConnClosed
+	}
+	return c.c.Close()
+}
+
+// call sends one request and reads its response, serializing concurrent
+// callers. Returned errors distinguish transport failures (sticky) from
+// server status errors.
+func (c *Conn) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.seq++
+	req.seq = c.seq
+	if err := writeRequest(c.bw, req); err != nil {
+		c.err = err
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.err = err
+		return nil, err
+	}
+	resp, err := readResponse(c.br)
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	if resp.seq != req.seq {
+		c.err = fmt.Errorf("%w: response seq %d for request %d", ErrProtocol, resp.seq, req.seq)
+		return nil, c.err
+	}
+	if resp.status != statusOK {
+		return nil, statusToErr(resp.status, resp.msg)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a no-op request and returns the server's clock.
+func (c *Conn) Ping() (int64, error) {
+	resp, err := c.call(&request{op: opPing})
+	if err != nil {
+		return 0, err
+	}
+	return resp.value, nil
+}
+
+// Open opens or creates a logical file. resource may be empty to use the
+// server default.
+func (c *Conn) Open(path string, flags int, resource string) (*File, error) {
+	req := &request{op: opOpen, path: path, flags: uint32(flags)}
+	if resource != "" {
+		req.data = []byte(resource)
+	}
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	return &File{conn: c, handle: int32(resp.value), path: path}, nil
+}
+
+// Stat queries a logical path.
+func (c *Conn) Stat(path string) (*FileInfo, error) {
+	resp, err := c.call(&request{op: opStat, path: path})
+	if err != nil {
+		return nil, err
+	}
+	fi, _, err := decodeFileInfo(resp.data)
+	return fi, err
+}
+
+// Mkdir creates a collection.
+func (c *Conn) Mkdir(path string) error {
+	_, err := c.call(&request{op: opMkdir, path: path})
+	return err
+}
+
+// Rmdir removes an empty collection.
+func (c *Conn) Rmdir(path string) error {
+	_, err := c.call(&request{op: opRmdir, path: path})
+	return err
+}
+
+// Unlink removes a logical file and its physical object.
+func (c *Conn) Unlink(path string) error {
+	_, err := c.call(&request{op: opUnlink, path: path})
+	return err
+}
+
+// List returns the entries of a collection.
+func (c *Conn) List(path string) ([]*FileInfo, error) {
+	resp, err := c.call(&request{op: opList, path: path})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FileInfo, 0, resp.value)
+	data := resp.data
+	for len(data) > 0 {
+		fi, rest, err := decodeFileInfo(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fi)
+		data = rest
+	}
+	return out, nil
+}
+
+// SetAttr attaches a metadata attribute to a path.
+func (c *Conn) SetAttr(path, key, value string) error {
+	data := make([]byte, 0, len(key)+len(value)+1)
+	data = append(data, key...)
+	data = append(data, 0)
+	data = append(data, value...)
+	_, err := c.call(&request{op: opSetAttr, path: path, data: data})
+	return err
+}
+
+// GetAttr reads a metadata attribute.
+func (c *Conn) GetAttr(path, key string) (string, error) {
+	resp, err := c.call(&request{op: opGetAttr, path: path, data: []byte(key)})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.data), nil
+}
+
+// Rename moves a logical file.
+func (c *Conn) Rename(oldPath, newPath string) error {
+	_, err := c.call(&request{op: opRename, path: oldPath, data: []byte(newPath)})
+	return err
+}
+
+// Replicate copies a data object onto another storage resource and
+// registers the replica in the catalog; reads fail over to replicas when
+// the primary copy is unavailable. Returns the replicated byte count.
+func (c *Conn) Replicate(path, resource string) (int64, error) {
+	resp, err := c.call(&request{op: opReplicate, path: path, data: []byte(resource)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.value, nil
+}
+
+// Checksum asks the server to compute the SHA-256 of a data object
+// (hex-encoded) without transferring the bytes, recording it as the
+// "checksum" attribute. Returns the digest and the object size.
+func (c *Conn) Checksum(path string) (string, int64, error) {
+	resp, err := c.call(&request{op: opChecksum, path: path})
+	if err != nil {
+		return "", 0, err
+	}
+	return string(resp.data), resp.value, nil
+}
+
+// Resources lists the server's storage resources as name/kind pairs.
+func (c *Conn) Resources() (map[string]string, error) {
+	resp, err := c.call(&request{op: opResources})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	b := resp.data
+	for len(b) > 0 {
+		var name, kind string
+		if name, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		if kind, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		out[name] = kind
+	}
+	return out, nil
+}
+
+// File is an open remote file handle. Methods are safe for concurrent use;
+// requests serialize on the underlying connection.
+type File struct {
+	conn   *Conn
+	handle int32
+	path   string
+
+	posMu sync.Mutex
+	// pos shadows the server-side file pointer for Read/Write; explicit
+	// offset calls do not touch it.
+}
+
+// Path returns the logical path the file was opened with.
+func (f *File) Path() string { return f.path }
+
+// Close releases the remote handle.
+func (f *File) Close() error {
+	_, err := f.conn.call(&request{op: opClose, handle: f.handle})
+	return err
+}
+
+// ReadAt reads len(p) bytes at an explicit offset, splitting large reads
+// into protocol chunks. It returns io.EOF after reading past end of file.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		resp, err := f.conn.call(&request{
+			op: opRead, handle: f.handle,
+			offset: off + int64(total), length: int64(n),
+		})
+		if err != nil {
+			return total, err
+		}
+		copy(p[total:], resp.data)
+		total += len(resp.data)
+		if len(resp.data) < n {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// WriteAt writes p at an explicit offset, splitting into protocol chunks.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		resp, err := f.conn.call(&request{
+			op: opWrite, handle: f.handle,
+			offset: off + int64(total), data: p[total : total+n],
+		})
+		if err != nil {
+			return total, err
+		}
+		total += int(resp.value)
+		if int(resp.value) < n {
+			return total, io.ErrShortWrite
+		}
+	}
+	return total, nil
+}
+
+// Read reads from the server-side file pointer.
+func (f *File) Read(p []byte) (int, error) {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		resp, err := f.conn.call(&request{
+			op: opRead, handle: f.handle, offset: -1, length: int64(n),
+		})
+		if err != nil {
+			return total, err
+		}
+		copy(p[total:], resp.data)
+		total += len(resp.data)
+		if len(resp.data) < n {
+			if total == 0 {
+				return 0, io.EOF
+			}
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// Write appends at the server-side file pointer.
+func (f *File) Write(p []byte) (int, error) {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		resp, err := f.conn.call(&request{
+			op: opWrite, handle: f.handle, offset: -1, data: p[total : total+n],
+		})
+		if err != nil {
+			return total, err
+		}
+		total += int(resp.value)
+	}
+	return total, nil
+}
+
+// Seek repositions the server-side file pointer.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	resp, err := f.conn.call(&request{
+		op: opSeek, handle: f.handle, offset: offset, flags: uint32(whence),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.value, nil
+}
+
+// Stat queries the open file.
+func (f *File) Stat() (*FileInfo, error) {
+	resp, err := f.conn.call(&request{op: opFstat, handle: f.handle})
+	if err != nil {
+		return nil, err
+	}
+	fi, _, err := decodeFileInfo(resp.data)
+	return fi, err
+}
+
+// Size is a convenience around Stat.
+func (f *File) Size() (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size, nil
+}
+
+// Truncate sets the file length.
+func (f *File) Truncate(size int64) error {
+	_, err := f.conn.call(&request{op: opTruncate, handle: f.handle, length: size})
+	return err
+}
+
+// Sync flushes the file on the server.
+func (f *File) Sync() error {
+	_, err := f.conn.call(&request{op: opSync, handle: f.handle})
+	return err
+}

@@ -1,0 +1,393 @@
+// Package srb implements a Storage Resource Broker: a data management
+// server exporting a logical remote filesystem (SRBFS) whose I/O interface
+// is semantically equivalent to the POSIX file API, plus the client side of
+// its wire protocol. It reproduces the substrate SEMPLAR was built on.
+//
+// Like the real SRB, a connection services one request at a time; parallel
+// transfers are obtained by opening multiple connections — which is exactly
+// the property the paper's asynchronous multi-stream optimization exploits.
+package srb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	reqMagic  = 0x5242 // "RB"
+	respMagic = 0x5243
+	protoVer  = 1
+
+	reqHeaderSize  = 40
+	respHeaderSize = 28
+
+	// MaxChunk bounds the payload of one request/response; larger
+	// transfers are split by the client.
+	MaxChunk = 4 << 20
+)
+
+// Opcodes.
+const (
+	opConnect uint8 = iota + 1
+	opPing
+	opOpen
+	opClose
+	opRead
+	opWrite
+	opSeek
+	opStat
+	opFstat
+	opTruncate
+	opSync
+	opMkdir
+	opRmdir
+	opUnlink
+	opList
+	opSetAttr
+	opGetAttr
+	opResources
+	opRename
+	opReplicate
+	opChecksum
+)
+
+// Open flags (SRBFS-level, independent of the host OS).
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+	O_ACCESS = 0x3 // access-mode mask
+	O_CREATE = 0x4
+	O_TRUNC  = 0x8
+	O_EXCL   = 0x10
+	O_APPEND = 0x20
+)
+
+// Seek whence values (match io.Seek*).
+const (
+	SeekStart   = 0
+	SeekCurrent = 1
+	SeekEnd     = 2
+)
+
+// Status codes carried in responses.
+const (
+	statusOK int32 = iota
+	statusNotFound
+	statusExists
+	statusIsDir
+	statusNotDir
+	statusBadHandle
+	statusInvalid
+	statusNotEmpty
+	statusIO
+	statusPerm
+)
+
+// Errors corresponding to the wire status codes.
+var (
+	ErrNotFound  = errors.New("srb: no such file or collection")
+	ErrExists    = errors.New("srb: file exists")
+	ErrIsDir     = errors.New("srb: is a collection")
+	ErrNotDir    = errors.New("srb: not a collection")
+	ErrBadHandle = errors.New("srb: bad file handle")
+	ErrInvalid   = errors.New("srb: invalid argument")
+	ErrNotEmpty  = errors.New("srb: collection not empty")
+	ErrIO        = errors.New("srb: i/o error")
+	ErrPerm      = errors.New("srb: permission denied")
+	ErrProtocol  = errors.New("srb: protocol error")
+)
+
+func statusToErr(st int32, msg string) error {
+	var base error
+	switch st {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		base = ErrNotFound
+	case statusExists:
+		base = ErrExists
+	case statusIsDir:
+		base = ErrIsDir
+	case statusNotDir:
+		base = ErrNotDir
+	case statusBadHandle:
+		base = ErrBadHandle
+	case statusInvalid:
+		base = ErrInvalid
+	case statusNotEmpty:
+		base = ErrNotEmpty
+	case statusPerm:
+		base = ErrPerm
+	default:
+		base = ErrIO
+	}
+	if msg != "" {
+		return fmt.Errorf("%w: %s", base, msg)
+	}
+	return base
+}
+
+func errToStatus(err error) (int32, string) {
+	switch {
+	case err == nil:
+		return statusOK, ""
+	case errors.Is(err, ErrNotFound):
+		return statusNotFound, ""
+	case errors.Is(err, ErrExists):
+		return statusExists, ""
+	case errors.Is(err, ErrIsDir):
+		return statusIsDir, ""
+	case errors.Is(err, ErrNotDir):
+		return statusNotDir, ""
+	case errors.Is(err, ErrBadHandle):
+		return statusBadHandle, ""
+	case errors.Is(err, ErrInvalid):
+		return statusInvalid, ""
+	case errors.Is(err, ErrNotEmpty):
+		return statusNotEmpty, ""
+	case errors.Is(err, ErrPerm):
+		return statusPerm, ""
+	default:
+		return statusIO, err.Error()
+	}
+}
+
+// request is the wire form of one client call.
+//
+//	magic   uint16
+//	version uint8
+//	opcode  uint8
+//	seq     uint32
+//	handle  int32
+//	flags   uint32
+//	offset  int64
+//	length  int64
+//	pathLen uint32
+//	dataLen uint32
+//	path    [pathLen]byte
+//	data    [dataLen]byte
+type request struct {
+	op     uint8
+	seq    uint32
+	handle int32
+	flags  uint32
+	offset int64
+	length int64
+	path   string
+	data   []byte
+}
+
+func writeRequest(w io.Writer, r *request) error {
+	if len(r.data) > MaxChunk {
+		return fmt.Errorf("%w: request payload %d exceeds max %d", ErrInvalid, len(r.data), MaxChunk)
+	}
+	var hdr [reqHeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:], reqMagic)
+	hdr[2] = protoVer
+	hdr[3] = r.op
+	binary.BigEndian.PutUint32(hdr[4:], r.seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(r.handle))
+	binary.BigEndian.PutUint32(hdr[12:], r.flags)
+	binary.BigEndian.PutUint64(hdr[16:], uint64(r.offset))
+	binary.BigEndian.PutUint64(hdr[24:], uint64(r.length))
+	binary.BigEndian.PutUint32(hdr[32:], uint32(len(r.path)))
+	binary.BigEndian.PutUint32(hdr[36:], uint32(len(r.data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(r.path) > 0 {
+		if _, err := io.WriteString(w, r.path); err != nil {
+			return err
+		}
+	}
+	if len(r.data) > 0 {
+		if _, err := w.Write(r.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRequest(r io.Reader) (*request, error) {
+	var hdr [reqHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != reqMagic {
+		return nil, fmt.Errorf("%w: bad request magic", ErrProtocol)
+	}
+	if hdr[2] != protoVer {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrProtocol, hdr[2])
+	}
+	req := &request{
+		op:     hdr[3],
+		seq:    binary.BigEndian.Uint32(hdr[4:]),
+		handle: int32(binary.BigEndian.Uint32(hdr[8:])),
+		flags:  binary.BigEndian.Uint32(hdr[12:]),
+		offset: int64(binary.BigEndian.Uint64(hdr[16:])),
+		length: int64(binary.BigEndian.Uint64(hdr[24:])),
+	}
+	pathLen := binary.BigEndian.Uint32(hdr[32:])
+	dataLen := binary.BigEndian.Uint32(hdr[36:])
+	if pathLen > 4096 || dataLen > MaxChunk {
+		return nil, fmt.Errorf("%w: oversized request (path %d, data %d)", ErrProtocol, pathLen, dataLen)
+	}
+	if pathLen > 0 {
+		pb := make([]byte, pathLen)
+		if _, err := io.ReadFull(r, pb); err != nil {
+			return nil, err
+		}
+		req.path = string(pb)
+	}
+	if dataLen > 0 {
+		req.data = make([]byte, dataLen)
+		if _, err := io.ReadFull(r, req.data); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// response is the wire form of one server reply.
+//
+//	magic   uint16
+//	_       uint16 (pad)
+//	seq     uint32
+//	status  int32
+//	value   int64
+//	msgLen  uint32
+//	dataLen uint32
+//	msg     [msgLen]byte
+//	data    [dataLen]byte
+type response struct {
+	seq    uint32
+	status int32
+	value  int64
+	msg    string
+	data   []byte
+}
+
+func writeResponse(w io.Writer, resp *response) error {
+	var hdr [respHeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:], respMagic)
+	binary.BigEndian.PutUint32(hdr[4:], resp.seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(resp.status))
+	binary.BigEndian.PutUint64(hdr[12:], uint64(resp.value))
+	binary.BigEndian.PutUint32(hdr[20:], uint32(len(resp.msg)))
+	binary.BigEndian.PutUint32(hdr[24:], uint32(len(resp.data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(resp.msg) > 0 {
+		if _, err := io.WriteString(w, resp.msg); err != nil {
+			return err
+		}
+	}
+	if len(resp.data) > 0 {
+		if _, err := w.Write(resp.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readResponse(r io.Reader) (*response, error) {
+	var hdr [respHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != respMagic {
+		return nil, fmt.Errorf("%w: bad response magic", ErrProtocol)
+	}
+	resp := &response{
+		seq:    binary.BigEndian.Uint32(hdr[4:]),
+		status: int32(binary.BigEndian.Uint32(hdr[8:])),
+		value:  int64(binary.BigEndian.Uint64(hdr[12:])),
+	}
+	msgLen := binary.BigEndian.Uint32(hdr[20:])
+	dataLen := binary.BigEndian.Uint32(hdr[24:])
+	if msgLen > 4096 || dataLen > MaxChunk {
+		return nil, fmt.Errorf("%w: oversized response", ErrProtocol)
+	}
+	if msgLen > 0 {
+		mb := make([]byte, msgLen)
+		if _, err := io.ReadFull(r, mb); err != nil {
+			return nil, err
+		}
+		resp.msg = string(mb)
+	}
+	if dataLen > 0 {
+		resp.data = make([]byte, dataLen)
+		if _, err := io.ReadFull(r, resp.data); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// FileInfo is the stat result for a logical path.
+type FileInfo struct {
+	Path     string
+	IsDir    bool
+	Size     int64
+	Modified int64 // unix nanos
+	Resource string
+}
+
+func encodeFileInfo(fi *FileInfo) []byte {
+	buf := make([]byte, 0, 32+len(fi.Path)+len(fi.Resource))
+	var tmp [8]byte
+	flag := byte(0)
+	if fi.IsDir {
+		flag = 1
+	}
+	buf = append(buf, flag)
+	binary.BigEndian.PutUint64(tmp[:], uint64(fi.Size))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(fi.Modified))
+	buf = append(buf, tmp[:]...)
+	buf = appendString(buf, fi.Path)
+	buf = appendString(buf, fi.Resource)
+	return buf
+}
+
+func decodeFileInfo(b []byte) (*FileInfo, []byte, error) {
+	if len(b) < 17 {
+		return nil, nil, ErrProtocol
+	}
+	fi := &FileInfo{IsDir: b[0] == 1}
+	fi.Size = int64(binary.BigEndian.Uint64(b[1:]))
+	fi.Modified = int64(binary.BigEndian.Uint64(b[9:]))
+	var err error
+	b = b[17:]
+	if fi.Path, b, err = takeString(b); err != nil {
+		return nil, nil, err
+	}
+	if fi.Resource, b, err = takeString(b); err != nil {
+		return nil, nil, err
+	}
+	return fi, b, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(s)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, ErrProtocol
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return "", nil, ErrProtocol
+	}
+	return string(b[:n]), b[n:], nil
+}

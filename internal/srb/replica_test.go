@@ -1,0 +1,183 @@
+package srb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"semplar/internal/storage"
+)
+
+// twoResourceServer builds a server with "mem" (default) and "backup"
+// resources, returning the backup store for direct inspection.
+func twoResourceServer(t *testing.T) (*Server, *storage.MemStore, *Conn) {
+	t.Helper()
+	srv := NewMemServer(storage.DeviceSpec{})
+	backup := storage.NewMemStore()
+	srv.AddResource("backup", "disk", backup)
+	conn := connectTo(t, srv)
+	return srv, backup, conn
+}
+
+func TestReplicateCopiesData(t *testing.T) {
+	_, backup, conn := twoResourceServer(t)
+	f, _ := conn.Open("/data", O_RDWR|O_CREATE, "")
+	payload := make([]byte, 3<<20) // multiple copy-loop iterations
+	rand.New(rand.NewSource(4)).Read(payload)
+	f.WriteAt(payload, 0)
+	f.Close()
+
+	n, err := conn.Replicate("/data", "backup")
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("replicate = %d, %v", n, err)
+	}
+	// The backup store holds a bit-identical copy.
+	keys := backup.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("backup keys = %v", keys)
+	}
+	obj, err := backup.Open(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("replica differs from primary")
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	_, _, conn := twoResourceServer(t)
+	f, _ := conn.Open("/f", O_WRONLY|O_CREATE, "")
+	f.WriteAt([]byte("x"), 0)
+	f.Close()
+
+	if _, err := conn.Replicate("/missing", "backup"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing = %v", err)
+	}
+	if _, err := conn.Replicate("/f", "mem"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("primary resource = %v", err)
+	}
+	if _, err := conn.Replicate("/f", "nosuch"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unknown resource = %v", err)
+	}
+	if _, err := conn.Replicate("/f", "backup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Replicate("/f", "backup"); !errors.Is(err, ErrExists) {
+		t.Fatalf("double replicate = %v", err)
+	}
+	conn.Mkdir("/coll")
+	if _, err := conn.Replicate("/coll", "backup"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("replicate collection = %v", err)
+	}
+}
+
+func TestReadFailsOverToReplica(t *testing.T) {
+	srv, _, conn := twoResourceServer(t)
+	f, _ := conn.Open("/critical", O_RDWR|O_CREATE, "")
+	f.WriteAt([]byte("precious bytes"), 0)
+	f.Close()
+	if _, err := conn.Replicate("/critical", "backup"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade the primary: delete the physical object out from under
+	// the catalog.
+	e, err := srv.Catalog().Lookup("/critical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.resources["mem"].Remove(e.PhysicalKey)
+
+	// Opening still works via the replica.
+	f2, err := conn.Open("/critical", O_RDONLY, "")
+	if err != nil {
+		t.Fatalf("open after primary loss: %v", err)
+	}
+	defer f2.Close()
+	got := make([]byte, 14)
+	if _, err := f2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "precious bytes" {
+		t.Fatalf("failover read = %q", got)
+	}
+}
+
+func TestOpenFailsWithNoCopies(t *testing.T) {
+	srv, _, conn := twoResourceServer(t)
+	f, _ := conn.Open("/gone", O_WRONLY|O_CREATE, "")
+	f.WriteAt([]byte("z"), 0)
+	f.Close()
+	e, _ := srv.Catalog().Lookup("/gone")
+	srv.resources["mem"].Remove(e.PhysicalKey)
+	if _, err := conn.Open("/gone", O_RDONLY, ""); !errors.Is(err, ErrIO) {
+		t.Fatalf("open with no copies = %v", err)
+	}
+}
+
+func TestUnlinkRemovesReplicas(t *testing.T) {
+	_, backup, conn := twoResourceServer(t)
+	f, _ := conn.Open("/r", O_WRONLY|O_CREATE, "")
+	f.WriteAt(make([]byte, 1000), 0)
+	f.Close()
+	conn.Replicate("/r", "backup")
+	if len(backup.Keys()) != 1 {
+		t.Fatal("replica missing before unlink")
+	}
+	if err := conn.Unlink("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if len(backup.Keys()) != 0 {
+		t.Fatalf("replica survived unlink: %v", backup.Keys())
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	_, _, conn := twoResourceServer(t)
+	f, _ := conn.Open("/sum", O_RDWR|O_CREATE, "")
+	payload := bytes.Repeat([]byte("integrity"), 100000) // several hash blocks
+	f.WriteAt(payload, 0)
+	f.Close()
+
+	sum, size, err := conn.Checksum("/sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(payload)) {
+		t.Fatalf("size = %d", size)
+	}
+	want := sha256.Sum256(payload)
+	if sum != hex.EncodeToString(want[:]) {
+		t.Fatalf("server checksum %s != local %x", sum, want)
+	}
+	// Recorded as an attribute.
+	attr, err := conn.GetAttr("/sum", "checksum")
+	if err != nil || attr != sum {
+		t.Fatalf("attr = %q, %v", attr, err)
+	}
+	// Changing the file changes the checksum.
+	f2, _ := conn.Open("/sum", O_WRONLY, "")
+	f2.WriteAt([]byte{0}, 5)
+	f2.Close()
+	sum2, _, err := conn.Checksum("/sum")
+	if err != nil || sum2 == sum {
+		t.Fatalf("checksum unchanged after modification (%v)", err)
+	}
+	// Errors.
+	if _, _, err := conn.Checksum("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing = %v", err)
+	}
+	conn.Mkdir("/dir")
+	if _, _, err := conn.Checksum("/dir"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("collection = %v", err)
+	}
+}

@@ -1,0 +1,685 @@
+package srb
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semplar/internal/mcat"
+	"semplar/internal/storage"
+)
+
+// ServerStats counts server activity; all fields are read with Snapshot.
+type ServerStats struct {
+	Connections   int64
+	Requests      int64
+	BytesRead     int64 // data served to clients
+	BytesWritten  int64 // data committed from clients
+	ActiveConns   int64
+	ProtocolError int64
+}
+
+// Server is the SRB daemon: it owns an MCAT catalog and one or more storage
+// resources and services any number of concurrent client connections, each
+// handled by its own goroutine (the SUN Fire 15000 of the simulation).
+type Server struct {
+	cat        *mcat.Catalog
+	mu         sync.RWMutex
+	resources  map[string]storage.Store
+	defaultRes string
+
+	handleSeq int64
+
+	stats ServerStats
+}
+
+// NewServer returns a server with a fresh catalog and no resources; add at
+// least one with AddResource before serving.
+func NewServer() *Server {
+	return &Server{
+		cat:       mcat.New(),
+		resources: make(map[string]storage.Store),
+	}
+}
+
+// NewMemServer is a convenience: a server with one in-memory resource named
+// "mem", optionally metered by the device spec.
+func NewMemServer(spec storage.DeviceSpec) *Server {
+	s := NewServer()
+	var st storage.Store = storage.NewMemStore()
+	if spec.ReadRate > 0 || spec.WriteRate > 0 || spec.OpLatency > 0 {
+		st = storage.WithDevice(st, spec)
+	}
+	s.AddResource("mem", "memory", st)
+	return s
+}
+
+// AddResource registers a storage resource. The first added becomes the
+// default resource for new files.
+func (s *Server) AddResource(name, kind string, st storage.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resources[name] = st
+	s.cat.RegisterResource(mcat.ResourceInfo{Name: name, Kind: kind, Host: "srbd"})
+	if s.defaultRes == "" {
+		s.defaultRes = name
+	}
+}
+
+// Catalog exposes the MCAT (used by tests and tools).
+func (s *Server) Catalog() *mcat.Catalog { return s.cat }
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Connections:   atomic.LoadInt64(&s.stats.Connections),
+		Requests:      atomic.LoadInt64(&s.stats.Requests),
+		BytesRead:     atomic.LoadInt64(&s.stats.BytesRead),
+		BytesWritten:  atomic.LoadInt64(&s.stats.BytesWritten),
+		ActiveConns:   atomic.LoadInt64(&s.stats.ActiveConns),
+		ProtocolError: atomic.LoadInt64(&s.stats.ProtocolError),
+	}
+}
+
+// Serve accepts connections from l until it is closed, spawning a goroutine
+// per connection.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn services one client connection until EOF or protocol error.
+// It may be called directly with simulated connections.
+func (s *Server) ServeConn(conn net.Conn) {
+	atomic.AddInt64(&s.stats.Connections, 1)
+	atomic.AddInt64(&s.stats.ActiveConns, 1)
+	defer atomic.AddInt64(&s.stats.ActiveConns, -1)
+	defer conn.Close()
+
+	sess := &session{
+		srv:   s,
+		files: make(map[int32]*openFile),
+	}
+	defer sess.closeAll()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		req, err := readRequest(br)
+		if err != nil {
+			if err != io.EOF {
+				atomic.AddInt64(&s.stats.ProtocolError, 1)
+			}
+			return
+		}
+		atomic.AddInt64(&s.stats.Requests, 1)
+		resp := sess.dispatch(req)
+		resp.seq = req.seq
+		if err := writeResponse(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+type openFile struct {
+	obj    storage.Object
+	path   string
+	flags  uint32
+	pos    int64
+	append bool
+}
+
+type session struct {
+	srv   *Server
+	files map[int32]*openFile
+	user  string
+}
+
+func (ss *session) closeAll() {
+	for _, f := range ss.files {
+		f.obj.Close()
+	}
+	ss.files = nil
+}
+
+func (ss *session) dispatch(req *request) *response {
+	switch req.op {
+	case opConnect:
+		ss.user = req.path
+		return &response{value: protoVer, msg: "SRB-Go/1 ready"}
+	case opPing:
+		return &response{value: time.Now().UnixNano()}
+	case opOpen:
+		return ss.open(req)
+	case opClose:
+		return ss.close(req)
+	case opRead:
+		return ss.read(req)
+	case opWrite:
+		return ss.write(req)
+	case opSeek:
+		return ss.seek(req)
+	case opStat:
+		return ss.stat(req)
+	case opFstat:
+		return ss.fstat(req)
+	case opTruncate:
+		return ss.truncate(req)
+	case opSync:
+		return ss.sync(req)
+	case opMkdir:
+		return errResp(ss.srv.mkdir(req.path))
+	case opRmdir:
+		return errResp(mapCatErr(ss.srv.cat.Rmdir(req.path)))
+	case opUnlink:
+		return errResp(ss.srv.unlink(req.path))
+	case opList:
+		return ss.list(req)
+	case opSetAttr:
+		return ss.setAttr(req)
+	case opGetAttr:
+		return ss.getAttr(req)
+	case opResources:
+		return ss.listResources()
+	case opRename:
+		return ss.rename(req)
+	case opReplicate:
+		return ss.replicate(req)
+	case opChecksum:
+		return ss.checksum(req)
+	default:
+		return errResp(fmt.Errorf("%w: unknown opcode %d", ErrInvalid, req.op))
+	}
+}
+
+func errResp(err error) *response {
+	st, msg := errToStatus(err)
+	return &response{status: st, msg: msg}
+}
+
+func mapCatErr(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case mcat.ErrNotFound:
+		return ErrNotFound
+	case mcat.ErrExists:
+		return ErrExists
+	case mcat.ErrIsDir:
+		return ErrIsDir
+	case mcat.ErrNotDir:
+		return ErrNotDir
+	case mcat.ErrNotEmpty:
+		return ErrNotEmpty
+	case mcat.ErrBadPath, mcat.ErrNoResource:
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	default:
+		return err
+	}
+}
+
+func (s *Server) store(resource string) (storage.Store, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.resources[resource]
+	if !ok {
+		return nil, fmt.Errorf("%w: resource %q", ErrInvalid, resource)
+	}
+	return st, nil
+}
+
+func (s *Server) mkdir(p string) error {
+	return mapCatErr(s.cat.Mkdir(p))
+}
+
+func (s *Server) unlink(p string) error {
+	e, err := s.cat.Lookup(p)
+	if err != nil {
+		return mapCatErr(err)
+	}
+	if e.Type == mcat.TypeCollection {
+		return ErrIsDir
+	}
+	if err := s.cat.Remove(p); err != nil {
+		return mapCatErr(err)
+	}
+	if st, err := s.store(e.Resource); err == nil {
+		st.Remove(e.PhysicalKey)
+	}
+	for _, r := range e.Replicas {
+		if st, err := s.store(r.Resource); err == nil {
+			st.Remove(r.PhysicalKey)
+		}
+	}
+	return nil
+}
+
+func (ss *session) open(req *request) *response {
+	s := ss.srv
+	flags := req.flags
+	resource := s.defaultRes
+	// The request data may carry a resource hint.
+	if len(req.data) > 0 {
+		resource = string(req.data)
+	}
+
+	e, err := s.cat.Lookup(req.path)
+	switch {
+	case err == nil:
+		if e.Type == mcat.TypeCollection {
+			return errResp(ErrIsDir)
+		}
+		if flags&O_EXCL != 0 && flags&O_CREATE != 0 {
+			return errResp(ErrExists)
+		}
+	case err == mcat.ErrNotFound && flags&O_CREATE != 0:
+		e, err = s.cat.CreateFile(req.path, resource)
+		if err != nil {
+			return errResp(mapCatErr(err))
+		}
+		st, serr := s.store(e.Resource)
+		if serr != nil {
+			return errResp(serr)
+		}
+		if _, cerr := st.Create(e.PhysicalKey); cerr != nil && cerr != storage.ErrExists {
+			return errResp(fmt.Errorf("%w: %v", ErrIO, cerr))
+		}
+	default:
+		return errResp(mapCatErr(err))
+	}
+
+	obj, err := s.openPhysical(e)
+	if err != nil {
+		return errResp(err)
+	}
+	if flags&O_TRUNC != 0 && flags&O_ACCESS != O_RDONLY {
+		if err := obj.Truncate(0); err != nil {
+			obj.Close()
+			return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+		}
+		s.cat.SetSize(req.path, 0)
+	}
+	h := int32(atomic.AddInt64(&s.handleSeq, 1))
+	of := &openFile{obj: obj, path: req.path, flags: flags, append: flags&O_APPEND != 0}
+	if of.append {
+		if sz, err := obj.Size(); err == nil {
+			of.pos = sz
+		}
+	}
+	ss.files[h] = of
+	return &response{value: int64(h)}
+}
+
+func (ss *session) lookupHandle(h int32) (*openFile, *response) {
+	f, ok := ss.files[h]
+	if !ok {
+		return nil, errResp(ErrBadHandle)
+	}
+	return f, nil
+}
+
+func (ss *session) close(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	delete(ss.files, req.handle)
+	if err := f.obj.Close(); err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	return &response{}
+}
+
+// read serves both explicit-offset reads (offset >= 0) and file-pointer
+// reads (offset < 0).
+func (ss *session) read(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	if f.flags&O_ACCESS == O_WRONLY {
+		return errResp(fmt.Errorf("%w: file not open for reading", ErrInvalid))
+	}
+	n := req.length
+	if n < 0 || n > MaxChunk {
+		return errResp(fmt.Errorf("%w: read length %d", ErrInvalid, n))
+	}
+	off := req.offset
+	usePointer := off < 0
+	if usePointer {
+		off = f.pos
+	}
+	buf := make([]byte, n)
+	rn, err := f.obj.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	if usePointer {
+		f.pos = off + int64(rn)
+	}
+	atomic.AddInt64(&ss.srv.stats.BytesRead, int64(rn))
+	return &response{value: int64(rn), data: buf[:rn]}
+}
+
+func (ss *session) write(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	if f.flags&O_ACCESS == O_RDONLY {
+		return errResp(fmt.Errorf("%w: file not open for writing", ErrInvalid))
+	}
+	off := req.offset
+	usePointer := off < 0
+	if usePointer {
+		off = f.pos
+	}
+	if f.append {
+		if sz, err := f.obj.Size(); err == nil {
+			off = sz
+		}
+	}
+	n, err := f.obj.WriteAt(req.data, off)
+	if err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	if usePointer || f.append {
+		f.pos = off + int64(n)
+	}
+	ss.srv.cat.GrowSize(f.path, off+int64(n))
+	atomic.AddInt64(&ss.srv.stats.BytesWritten, int64(n))
+	return &response{value: int64(n)}
+}
+
+func (ss *session) seek(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	var base int64
+	switch req.flags {
+	case SeekStart:
+		base = 0
+	case SeekCurrent:
+		base = f.pos
+	case SeekEnd:
+		sz, err := f.obj.Size()
+		if err != nil {
+			return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+		}
+		base = sz
+	default:
+		return errResp(fmt.Errorf("%w: bad whence %d", ErrInvalid, req.flags))
+	}
+	np := base + req.offset
+	if np < 0 {
+		return errResp(fmt.Errorf("%w: negative seek", ErrInvalid))
+	}
+	f.pos = np
+	return &response{value: np}
+}
+
+func (ss *session) entryInfo(e *mcat.Entry) *FileInfo {
+	return &FileInfo{
+		Path:     e.Path,
+		IsDir:    e.Type == mcat.TypeCollection,
+		Size:     e.Size,
+		Modified: e.Modified.UnixNano(),
+		Resource: e.Resource,
+	}
+}
+
+func (ss *session) stat(req *request) *response {
+	e, err := ss.srv.cat.Lookup(req.path)
+	if err != nil {
+		return errResp(mapCatErr(err))
+	}
+	return &response{data: encodeFileInfo(ss.entryInfo(e))}
+}
+
+func (ss *session) fstat(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	e, err := ss.srv.cat.Lookup(f.path)
+	if err != nil {
+		// Unlinked while open: report from the object itself.
+		sz, serr := f.obj.Size()
+		if serr != nil {
+			return errResp(fmt.Errorf("%w: %v", ErrIO, serr))
+		}
+		return &response{data: encodeFileInfo(&FileInfo{Path: f.path, Size: sz})}
+	}
+	info := ss.entryInfo(e)
+	// Size in the catalog may lag behind unsynced object bytes for files
+	// opened by other sessions; trust the object.
+	if sz, serr := f.obj.Size(); serr == nil && sz > info.Size {
+		info.Size = sz
+	}
+	return &response{data: encodeFileInfo(info)}
+}
+
+func (ss *session) truncate(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	if err := f.obj.Truncate(req.length); err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	ss.srv.cat.SetSize(f.path, req.length)
+	return &response{}
+}
+
+func (ss *session) sync(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	if err := f.obj.Sync(); err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	return &response{}
+}
+
+func (ss *session) list(req *request) *response {
+	entries, err := ss.srv.cat.List(req.path)
+	if err != nil {
+		return errResp(mapCatErr(err))
+	}
+	var buf []byte
+	for _, e := range entries {
+		buf = append(buf, encodeFileInfo(ss.entryInfo(e))...)
+	}
+	return &response{value: int64(len(entries)), data: buf}
+}
+
+func (ss *session) setAttr(req *request) *response {
+	// data = key\x00value
+	key, val, ok := splitKV(req.data)
+	if !ok {
+		return errResp(fmt.Errorf("%w: malformed attribute", ErrInvalid))
+	}
+	return errResp(mapCatErr(ss.srv.cat.SetAttr(req.path, key, val)))
+}
+
+func (ss *session) getAttr(req *request) *response {
+	key := string(req.data)
+	v, err := ss.srv.cat.GetAttr(req.path, key)
+	if err != nil {
+		return errResp(mapCatErr(err))
+	}
+	return &response{data: []byte(v)}
+}
+
+func (ss *session) listResources() *response {
+	var buf []byte
+	rs := ss.srv.cat.Resources()
+	for _, r := range rs {
+		buf = appendString(buf, r.Name)
+		buf = appendString(buf, r.Kind)
+	}
+	return &response{value: int64(len(rs)), data: buf}
+}
+
+func (ss *session) rename(req *request) *response {
+	newPath := string(req.data)
+	if err := ss.srv.cat.Rename(req.path, newPath); err != nil {
+		return errResp(mapCatErr(err))
+	}
+	return &response{}
+}
+
+// openPhysical opens an entry's primary object, failing over to replicas
+// when the primary copy is unavailable (a degraded resource).
+func (s *Server) openPhysical(e *mcat.Entry) (storage.Object, error) {
+	copies := append([]mcat.Replica{{Resource: e.Resource, PhysicalKey: e.PhysicalKey}},
+		e.Replicas...)
+	var lastErr error
+	for _, r := range copies {
+		st, err := s.store(r.Resource)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		obj, err := st.Open(r.PhysicalKey)
+		if err == nil {
+			return obj, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: no usable copy: %v", ErrIO, lastErr)
+}
+
+// replicate copies a data object to another resource and records the
+// replica in the catalog. The copy is point-in-time; subsequent writes go
+// to the primary only.
+func (ss *session) replicate(req *request) *response {
+	s := ss.srv
+	target := string(req.data)
+	e, err := s.cat.Lookup(req.path)
+	if err != nil {
+		return errResp(mapCatErr(err))
+	}
+	if e.Type == mcat.TypeCollection {
+		return errResp(ErrIsDir)
+	}
+	if target == e.Resource {
+		return errResp(fmt.Errorf("%w: replica on primary resource", ErrInvalid))
+	}
+	dstStore, err := s.store(target)
+	if err != nil {
+		return errResp(err)
+	}
+	src, err := s.openPhysical(e)
+	if err != nil {
+		return errResp(err)
+	}
+	defer src.Close()
+
+	key := e.PhysicalKey + "@" + target
+	dst, err := dstStore.Create(key)
+	if err == storage.ErrExists {
+		return errResp(fmt.Errorf("%w: replica already present on %s", ErrExists, target))
+	}
+	if err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	defer dst.Close()
+
+	size, err := src.Size()
+	if err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	buf := make([]byte, 1<<20)
+	for off := int64(0); off < size; {
+		n, rerr := src.ReadAt(buf, off)
+		if n > 0 {
+			if _, werr := dst.WriteAt(buf[:n], off); werr != nil {
+				return errResp(fmt.Errorf("%w: %v", ErrIO, werr))
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return errResp(fmt.Errorf("%w: %v", ErrIO, rerr))
+		}
+	}
+	if err := s.cat.AddReplica(req.path, mcat.Replica{Resource: target, PhysicalKey: key}); err != nil {
+		return errResp(mapCatErr(err))
+	}
+	return &response{value: size}
+}
+
+// checksum computes the SHA-256 of a data object server-side (the
+// Schksum facility: end-to-end integrity without shipping the bytes) and
+// records it as the "checksum" attribute.
+func (ss *session) checksum(req *request) *response {
+	s := ss.srv
+	e, err := s.cat.Lookup(req.path)
+	if err != nil {
+		return errResp(mapCatErr(err))
+	}
+	if e.Type == mcat.TypeCollection {
+		return errResp(ErrIsDir)
+	}
+	obj, err := s.openPhysical(e)
+	if err != nil {
+		return errResp(err)
+	}
+	defer obj.Close()
+	size, err := obj.Size()
+	if err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
+	}
+	h := sha256.New()
+	buf := make([]byte, 1<<20)
+	for off := int64(0); off < size; {
+		n, rerr := obj.ReadAt(buf, off)
+		if n > 0 {
+			h.Write(buf[:n])
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return errResp(fmt.Errorf("%w: %v", ErrIO, rerr))
+		}
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	s.cat.SetAttr(req.path, "checksum", sum)
+	return &response{value: size, data: []byte(sum)}
+}
+
+func splitKV(b []byte) (key, val string, ok bool) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), string(b[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// MkdirAll is a server-side helper used by testbed setup.
+func (s *Server) MkdirAll(p string) error {
+	return mapCatErr(s.cat.MkdirAll(path.Clean(p)))
+}

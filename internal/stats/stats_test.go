@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhases(t *testing.T) {
+	p := Phases{Compute: 4 * time.Second, IO: 1 * time.Second}
+	if p.Total() != 5*time.Second {
+		t.Fatal("total")
+	}
+	if p.Expected() != 4*time.Second {
+		t.Fatal("expected")
+	}
+	if got := p.MaxSpeedup(); math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("max speedup = %v", got)
+	}
+	// A perfectly balanced application can improve by up to 50%.
+	bal := Phases{Compute: time.Second, IO: time.Second}
+	if got := bal.MaxSpeedup(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("balanced speedup = %v", got)
+	}
+	if (Phases{}).MaxSpeedup() != 1 {
+		t.Fatal("zero phases")
+	}
+}
+
+func TestOverlapEfficiency(t *testing.T) {
+	p := Phases{Compute: 4 * time.Second, IO: 1 * time.Second}
+	if got := OverlapEfficiency(p, 4*time.Second); got != 1 {
+		t.Fatalf("perfect overlap eff = %v", got)
+	}
+	if got := OverlapEfficiency(p, 5*time.Second); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("no-overlap eff = %v", got)
+	}
+	// Faster than theoretical caps at 1.
+	if got := OverlapEfficiency(p, time.Second); got != 1 {
+		t.Fatalf("capped eff = %v", got)
+	}
+	if OverlapEfficiency(p, 0) != 0 {
+		t.Fatal("zero async time")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(10*time.Second, 8*time.Second); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if Improvement(0, time.Second) != 0 {
+		t.Fatal("zero base")
+	}
+}
+
+func TestBandwidthUnits(t *testing.T) {
+	// 1 MB in 1s = 8 Mb/s.
+	if got := MbPerSec(1e6, time.Second); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("MbPerSec = %v", got)
+	}
+	if got := MBPerSec(1<<20, time.Second); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("MBPerSec = %v", got)
+	}
+	if MbPerSec(100, 0) != 0 || MBPerSec(100, 0) != 0 {
+		t.Fatal("zero duration")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Label = "sync"
+	s.Add(2, 10)
+	s.Add(4, 20)
+	if v, ok := s.At(4); !ok || v != 20 {
+		t.Fatalf("At = %v, %v", v, ok)
+	}
+	if _, ok := s.At(99); ok {
+		t.Fatal("missing x found")
+	}
+	if s.Mean() != 15 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if (&Series{}).Mean() != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestMeanRatio(t *testing.T) {
+	two := &Series{X: []int{1, 2, 3}, Y: []float64{2, 4, 6}}
+	one := &Series{X: []int{1, 2, 3}, Y: []float64{1, 2, 3}}
+	if got := MeanRatio(two, one); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("ratio = %v", got)
+	}
+	// Disjoint x: no ratio.
+	other := &Series{X: []int{9}, Y: []float64{1}}
+	if MeanRatio(two, other) != 0 {
+		t.Fatal("disjoint series")
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := &Series{Label: "sync", X: []int{2, 4}, Y: []float64{1.5, 2.5}}
+	b := &Series{Label: "async", X: []int{2}, Y: []float64{1.25}}
+	out := Table("Fig X", "np", "seconds", a, b)
+	for _, want := range []string{"Fig X", "np", "sync", "async", "1.50", "1.25", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// FileStore persists objects as files under a root directory. It backs the
+// standalone srbd daemon; keys are hashed into a two-level directory fanout
+// so arbitrary catalog keys map to safe file names.
+type FileStore struct {
+	root string
+	mu   sync.Mutex
+	keys map[string]string // key -> relative path
+}
+
+// NewFileStore creates (if needed) and opens a store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	fs := &FileStore{root: dir, keys: make(map[string]string)}
+	// Recover existing objects: layout is <root>/<aa>/<hash>.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || len(e.Name()) != 2 {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range sub {
+			if f.IsDir() {
+				continue
+			}
+			// The original key is stored alongside as <hash>.key.
+			if strings.HasSuffix(f.Name(), ".key") {
+				kb, err := os.ReadFile(filepath.Join(dir, e.Name(), f.Name()))
+				if err == nil {
+					rel := filepath.Join(e.Name(), strings.TrimSuffix(f.Name(), ".key"))
+					fs.keys[string(kb)] = rel
+				}
+			}
+		}
+	}
+	return fs, nil
+}
+
+func (fs *FileStore) pathFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:16])
+	return filepath.Join(h[:2], h)
+}
+
+// Create implements Store.
+func (fs *FileStore) Create(key string) (Object, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.keys[key]; ok {
+		return nil, ErrExists
+	}
+	rel := fs.pathFor(key)
+	abs := filepath.Join(fs.root, rel)
+	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(abs, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, ErrExists
+		}
+		return nil, err
+	}
+	if err := os.WriteFile(abs+".key", []byte(key), 0o644); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fs.keys[key] = rel
+	return &fileObject{f: f}, nil
+}
+
+// Open implements Store.
+func (fs *FileStore) Open(key string) (Object, error) {
+	fs.mu.Lock()
+	rel, ok := fs.keys[key]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	f, err := os.OpenFile(filepath.Join(fs.root, rel), os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	return &fileObject{f: f}, nil
+}
+
+// Remove implements Store.
+func (fs *FileStore) Remove(key string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rel, ok := fs.keys[key]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(fs.keys, key)
+	abs := filepath.Join(fs.root, rel)
+	os.Remove(abs + ".key")
+	return os.Remove(abs)
+}
+
+// Exists implements Store.
+func (fs *FileStore) Exists(key string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.keys[key]
+	return ok
+}
+
+// Keys implements Store.
+func (fs *FileStore) Keys() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	keys := make([]string, 0, len(fs.keys))
+	for k := range fs.keys {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+type fileObject struct {
+	f *os.File
+}
+
+func (o *fileObject) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o *fileObject) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+
+func (o *fileObject) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (o *fileObject) Truncate(size int64) error { return o.f.Truncate(size) }
+func (o *fileObject) Sync() error               { return o.f.Sync() }
+func (o *fileObject) Close() error              { return o.f.Close() }

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"sync"
+)
+
+// MemStore keeps all objects in memory. It is the backend used by the
+// simulated testbeds; device characteristics are added with WithDevice.
+type MemStore struct {
+	mu   sync.RWMutex
+	objs map[string]*memObject
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objs: make(map[string]*memObject)}
+}
+
+// Create implements Store.
+func (s *MemStore) Create(key string) (Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[key]; ok {
+		return nil, ErrExists
+	}
+	o := &memObject{}
+	s.objs[key] = o
+	return o, nil
+}
+
+// Open implements Store.
+func (s *MemStore) Open(key string) (Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objs[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return o, nil
+}
+
+// Remove implements Store.
+func (s *MemStore) Remove(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[key]; !ok {
+		return ErrNotFound
+	}
+	delete(s.objs, key)
+	return nil
+}
+
+// Exists implements Store.
+func (s *MemStore) Exists(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objs[key]
+	return ok
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.objs))
+	for k := range s.objs {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TotalBytes reports the sum of all object sizes (for tests and stats).
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, o := range s.objs {
+		sz, _ := o.Size()
+		total += sz
+	}
+	return total
+}
+
+// memObject is a growable byte array safe for concurrent access.
+type memObject struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+func (o *memObject) ReadAt(p []byte, off int64) (int, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if off < 0 {
+		return 0, errInvalidOffset
+	}
+	if off >= int64(len(o.data)) {
+		return 0, errEOF
+	}
+	n := copy(p, o.data[off:])
+	if n < len(p) {
+		return n, errEOF
+	}
+	return n, nil
+}
+
+func (o *memObject) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errInvalidOffset
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(o.data)) {
+		old := len(o.data)
+		if end > int64(cap(o.data)) {
+			grown := make([]byte, end, end+end/2)
+			copy(grown, o.data)
+			o.data = grown
+		} else {
+			// Reusing capacity: clear any hole between the old end
+			// and the write offset, which may hold stale bytes from
+			// a previous truncate.
+			o.data = o.data[:end]
+			if off > int64(old) {
+				clearBytes(o.data[old:off])
+			}
+		}
+	}
+	copy(o.data[off:end], p)
+	return len(p), nil
+}
+
+func (o *memObject) Size() (int64, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return int64(len(o.data)), nil
+}
+
+func (o *memObject) Truncate(size int64) error {
+	if size < 0 {
+		return errInvalidOffset
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch {
+	case size <= int64(len(o.data)):
+		o.data = o.data[:size]
+	case size <= int64(cap(o.data)):
+		old := len(o.data)
+		o.data = o.data[:size]
+		clearBytes(o.data[old:])
+	default:
+		grown := make([]byte, size)
+		copy(grown, o.data)
+		o.data = grown
+	}
+	return nil
+}
+
+func (o *memObject) Sync() error  { return nil }
+func (o *memObject) Close() error { return nil }
+
+func clearBytes(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}

@@ -1,0 +1,50 @@
+// Package storage provides the physical storage backends behind the SRB
+// server: an in-memory store for simulation and tests, and a disk-backed
+// store for the standalone daemon. Both can be wrapped with a device model
+// that meters read/write bandwidth and per-operation latency, standing in
+// for orion.sdsc.edu's disk arrays and tape drives.
+package storage
+
+import (
+	"errors"
+	"io"
+)
+
+// Common errors returned by stores.
+var (
+	ErrNotFound = errors.New("storage: object not found")
+	ErrExists   = errors.New("storage: object already exists")
+)
+
+// Object is an open physical object. Implementations must be safe for
+// concurrent use: the SRB server services many client connections at once,
+// possibly against the same object.
+type Object interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size reports the current object length in bytes.
+	Size() (int64, error)
+	// Truncate sets the object length.
+	Truncate(size int64) error
+	// Sync flushes buffered data to the device.
+	Sync() error
+	// Close releases the handle. Objects may be opened multiple times.
+	Close() error
+}
+
+// Store is a flat namespace of physical objects keyed by opaque IDs the
+// metadata catalog assigns.
+type Store interface {
+	// Create makes a new empty object. It fails with ErrExists if the
+	// key is already present.
+	Create(key string) (Object, error)
+	// Open returns an existing object or ErrNotFound.
+	Open(key string) (Object, error)
+	// Remove deletes an object. Open handles remain usable (POSIX-like
+	// unlink semantics for the memory store; best effort on disk).
+	Remove(key string) error
+	// Exists reports whether the key is present.
+	Exists(key string) bool
+	// Keys lists all object keys (order unspecified).
+	Keys() []string
+}

@@ -1,0 +1,264 @@
+package blast
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semplar/internal/adio"
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/mpi"
+	"semplar/internal/workloads/datagen"
+)
+
+func testDB(t *testing.T) *datagen.Database {
+	t.Helper()
+	return datagen.NewDatabase(40, 200, 400, 42)
+}
+
+func TestIndexFindsExactKmers(t *testing.T) {
+	db := testDB(t)
+	ix := NewIndex(db, 11)
+	// Every 11-mer of sequence 0 must be findable at its position.
+	seq := db.Seqs[0]
+	var code uint32
+	mask := uint32(1)<<22 - 1
+	for i := 0; i < len(seq); i++ {
+		code = (code<<2 | baseCode(seq[i])) & mask
+		if i < 10 {
+			continue
+		}
+		found := false
+		for _, r := range ix.Lookup(code) {
+			if r.seq == 0 && int(r.off) == i-10 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("k-mer at offset %d not indexed", i-10)
+		}
+	}
+}
+
+func TestIndexKClamp(t *testing.T) {
+	db := testDB(t)
+	if NewIndex(db, 0).K != 11 || NewIndex(db, 99).K != 11 {
+		t.Fatal("k clamp")
+	}
+	if NewIndex(db, 8).K != 8 {
+		t.Fatal("explicit k")
+	}
+}
+
+func TestSearchFindsPlantedAlignment(t *testing.T) {
+	db := testDB(t)
+	ix := NewIndex(db, 11)
+	// A query copied from a subject must hit that subject with a high
+	// score covering most of its length.
+	query := append([]byte(nil), db.Seqs[7]...)
+	hits := Search(ix, db, query, 0, 8, 20)
+	if len(hits) == 0 {
+		t.Fatal("no hits for exact copy")
+	}
+	best := hits[0]
+	if best.Subject != 7 {
+		t.Fatalf("best hit subject = %d want 7", best.Subject)
+	}
+	if best.Length < len(query)*9/10 {
+		t.Fatalf("best hit length = %d of %d", best.Length, len(query))
+	}
+	if best.Score < len(query)*8/10 {
+		t.Fatalf("best hit score = %d", best.Score)
+	}
+}
+
+func TestSearchToleratesMutations(t *testing.T) {
+	db := testDB(t)
+	ix := NewIndex(db, 11)
+	query := append([]byte(nil), db.Seqs[3]...)
+	// Mutate a few bases; the alignment should survive.
+	for _, p := range []int{20, 90, 150} {
+		if p < len(query) {
+			query[p] = 'A' + 'C' - query[p]%2 // crude flip
+		}
+	}
+	qs := db.Queries(1, 5)[0]
+	_ = qs
+	hits := Search(ix, db, query, 0, 8, 20)
+	found := false
+	for _, h := range hits {
+		if h.Subject == 3 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("mutated query no longer hits its source")
+	}
+}
+
+func TestSearchScoresSorted(t *testing.T) {
+	db := testDB(t)
+	ix := NewIndex(db, 11)
+	hits := Search(ix, db, db.Queries(1, 8)[0], 0, 8, 20)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+}
+
+func TestSearchShortQuery(t *testing.T) {
+	db := testDB(t)
+	ix := NewIndex(db, 11)
+	if hits := Search(ix, db, []byte("ACGT"), 0, 8, 20); hits != nil {
+		t.Fatal("short query produced hits")
+	}
+}
+
+func TestExtendExact(t *testing.T) {
+	s := []byte("AAAACCCCGGGGTTTT")
+	qs, ss, length, score := extend(s, s, 4, 4, 4, 8)
+	if qs != 0 || ss != 0 || length != len(s) || score != len(s) {
+		t.Fatalf("extend exact = qs%d ss%d len%d score%d", qs, ss, length, score)
+	}
+}
+
+func TestExtendStopsAtMismatchRun(t *testing.T) {
+	q := []byte("AAAAAAAATTTTTTTT")
+	s := []byte("AAAAAAAACCCCCCCC")
+	_, _, length, score := extend(q, s, 0, 0, 8, 4)
+	if length > 10 {
+		t.Fatalf("extension ran through mismatches: len=%d", length)
+	}
+	if score < 8-4 {
+		t.Fatalf("score = %d", score)
+	}
+}
+
+func TestFormatReportPadsToTarget(t *testing.T) {
+	hits := []Hit{{Query: 1, Subject: 2, Score: 30, Length: 40}}
+	rep := FormatReport(1, hits, 4096)
+	if len(rep) != 4096 {
+		t.Fatalf("report len = %d", len(rep))
+	}
+	if !strings.Contains(string(rep[:100]), "BLASTN query=1 hits=1") {
+		t.Fatalf("header missing: %q", rep[:60])
+	}
+}
+
+func TestRunMasterWorker(t *testing.T) {
+	db := testDB(t)
+	queries := db.Queries(9, 7)
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+
+	for _, mode := range []Mode{Sync, Async} {
+		cfg := Config{
+			DB: db, Queries: queries, Mode: mode,
+			ReportSize: 2048,
+			PathPrefix: "mem:/" + mode.String() + "-",
+		}
+		var res Result
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			r, err := Run(c, reg, cfg)
+			if c.Rank() == 0 {
+				res = r
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Queries != 9 {
+			t.Fatalf("mode %v: processed %d queries", mode, res.Queries)
+		}
+		if res.Hits == 0 {
+			t.Fatalf("mode %v: no hits", mode)
+		}
+		if res.Bytes != 9*2048 {
+			t.Fatalf("mode %v: bytes = %d", mode, res.Bytes)
+		}
+		// Each worker's output file exists and is a multiple of the
+		// report size.
+		var total int64
+		for w := 1; w <= 3; w++ {
+			f, err := mem.Open(strings.TrimPrefix(cfg.PathPrefix, "mem:")+
+				string(rune('0'+w))+".out", adio.O_RDONLY, nil)
+			if err != nil {
+				t.Fatalf("mode %v: worker %d file: %v", mode, w, err)
+			}
+			sz, _ := f.Size()
+			f.Close()
+			if sz%2048 != 0 {
+				t.Fatalf("mode %v: worker %d size %d", mode, w, sz)
+			}
+			total += sz
+		}
+		if total != 9*2048 {
+			t.Fatalf("mode %v: total output %d", mode, total)
+		}
+	}
+}
+
+func TestRunNeedsWorkers(t *testing.T) {
+	db := testDB(t)
+	reg := &adio.Registry{}
+	reg.Register(adio.NewMemFS())
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		_, err := Run(c, reg, Config{DB: db, Queries: db.Queries(1, 1)})
+		if err == nil {
+			t.Error("single-rank run accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverTestbed(t *testing.T) {
+	db := datagen.NewDatabase(20, 150, 250, 1)
+	queries := db.Queries(6, 2)
+	tb := cluster.New(cluster.OSC().Scaled(400), 3)
+	cfg := Config{DB: db, Queries: queries, Mode: Async,
+		ReportSize: 4096, PathPrefix: "srb:/blast-"}
+	err := mpi.RunOn(3, tb.Fabric(), func(c *mpi.Comm) error {
+		reg := tb.Registry(c.Rank(), core.SRBFSConfig{})
+		_, err := Run(c, reg, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs landed on the SRB server.
+	ls, err := tb.Server.Catalog().List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := 0
+	for _, e := range ls {
+		if strings.HasPrefix(e.Path, "/blast-") && e.Size > 0 {
+			outs++
+		}
+	}
+	if outs != 2 { // two workers
+		t.Fatalf("worker outputs on server = %d", outs)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	db := testDB(t)
+	ix := NewIndex(db, 11)
+	q := db.Queries(1, 3)[0]
+	h1 := Search(ix, db, q, 0, 8, 20)
+	h2 := Search(ix, db, q, 0, 8, 20)
+	r1 := FormatReport(0, h1, 1024)
+	r2 := FormatReport(0, h2, 1024)
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("search/report not deterministic")
+	}
+}

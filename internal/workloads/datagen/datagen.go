@@ -1,0 +1,127 @@
+// Package datagen synthesizes the biological data the paper's benchmarks
+// consume: GenBank-style human EST nucleotide sequences in FASTA format.
+// The generator produces text with the statistical character of real EST
+// data — a four-letter alphabet with locally repeated motifs and FASTA
+// headers — so that both the k-mer search (MPI-BLAST) and the LZO
+// compression experiment (Section 7.3) exercise realistic inputs.
+package datagen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Alphabet is the nucleotide alphabet.
+const Alphabet = "ACGT"
+
+// Sequence generates one nucleotide sequence of length n. Motif repetition
+// (short tandem repeats are common in ESTs) makes the output compressible
+// at roughly the ratio real FASTA text achieves.
+func Sequence(n int, rng *rand.Rand) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if len(out) > 16 && rng.Intn(4) == 0 {
+			// Repeat a recent motif.
+			mlen := 4 + rng.Intn(12)
+			back := mlen + rng.Intn(64)
+			if back > len(out) {
+				back = len(out)
+			}
+			start := len(out) - back
+			for i := 0; i < mlen && len(out) < n; i++ {
+				out = append(out, out[start+i%back])
+			}
+			continue
+		}
+		out = append(out, Alphabet[rng.Intn(4)])
+	}
+	return out
+}
+
+// Database is a set of sequences with identifiers — the BLAST subject
+// database (the paper's: 687,158 human ESTs, 256 MB; ours: scaled).
+type Database struct {
+	IDs  []string
+	Seqs [][]byte
+}
+
+// Len returns the number of sequences.
+func (db *Database) Len() int { return len(db.Seqs) }
+
+// TotalBytes is the summed sequence length.
+func (db *Database) TotalBytes() int64 {
+	var n int64
+	for _, s := range db.Seqs {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// NewDatabase builds count sequences with lengths in [minLen, maxLen].
+func NewDatabase(count, minLen, maxLen int, seed int64) *Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := &Database{
+		IDs:  make([]string, count),
+		Seqs: make([][]byte, count),
+	}
+	for i := 0; i < count; i++ {
+		n := minLen
+		if maxLen > minLen {
+			n += rng.Intn(maxLen - minLen)
+		}
+		db.IDs[i] = fmt.Sprintf("gi|%07d|est", i+1)
+		db.Seqs[i] = Sequence(n, rng)
+	}
+	return db
+}
+
+// Queries samples q query sequences from the database, mutating a few
+// bases so that alignments are strong but not exact (as in the paper,
+// where the query file is a subset of the database).
+func (db *Database) Queries(q int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, q)
+	for i := range out {
+		src := db.Seqs[rng.Intn(len(db.Seqs))]
+		qs := make([]byte, len(src))
+		copy(qs, src)
+		for m := 0; m < len(qs)/50+1; m++ {
+			qs[rng.Intn(len(qs))] = Alphabet[rng.Intn(4)]
+		}
+		out[i] = qs
+	}
+	return out
+}
+
+// FASTA renders the database in FASTA format with 70-column sequence
+// lines — the input of the compression experiment.
+func (db *Database) FASTA() []byte {
+	var b bytes.Buffer
+	for i, seq := range db.Seqs {
+		fmt.Fprintf(&b, ">%s synthetic human EST\n", db.IDs[i])
+		for off := 0; off < len(seq); off += 70 {
+			end := off + 70
+			if end > len(seq) {
+				end = len(seq)
+			}
+			b.Write(seq[off:end])
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes()
+}
+
+// ESTText generates approximately n bytes of FASTA text directly (the
+// 100 MB nucleotide file of Section 7.3, scaled).
+func ESTText(n int, seed int64) []byte {
+	// Average ~1.02 bytes of FASTA per sequence byte (headers+newlines).
+	seqBytes := n * 100 / 104
+	count := seqBytes/400 + 1
+	db := NewDatabase(count, 350, 450, seed)
+	text := db.FASTA()
+	if len(text) > n {
+		text = text[:n]
+	}
+	return text
+}

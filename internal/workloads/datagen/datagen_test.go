@@ -1,0 +1,128 @@
+package datagen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"semplar/internal/lzo"
+)
+
+func TestSequenceAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := Sequence(10000, rng)
+	if len(seq) != 10000 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	counts := map[byte]int{}
+	for _, b := range seq {
+		counts[b]++
+	}
+	for _, c := range []byte(Alphabet) {
+		if counts[c] == 0 {
+			t.Fatalf("letter %c never generated", c)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("alphabet = %v", counts)
+	}
+}
+
+func TestSequenceDeterministic(t *testing.T) {
+	a := Sequence(1000, rand.New(rand.NewSource(7)))
+	b := Sequence(1000, rand.New(rand.NewSource(7)))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed, different sequence")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase(50, 100, 200, 3)
+	if db.Len() != 50 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	for i, s := range db.Seqs {
+		if len(s) < 100 || len(s) >= 200 {
+			t.Fatalf("seq %d len %d outside [100,200)", i, len(s))
+		}
+	}
+	if db.TotalBytes() < 50*100 {
+		t.Fatal("total bytes")
+	}
+	ids := map[string]bool{}
+	for _, id := range db.IDs {
+		if ids[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestQueriesResembleDatabase(t *testing.T) {
+	db := NewDatabase(20, 200, 300, 4)
+	qs := db.Queries(5, 9)
+	if len(qs) != 5 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	// Each query must be within a few mutations of some database
+	// sequence (same length, low Hamming distance).
+	for qi, q := range qs {
+		best := len(q)
+		for _, s := range db.Seqs {
+			if len(s) != len(q) {
+				continue
+			}
+			d := 0
+			for i := range s {
+				if s[i] != q[i] {
+					d++
+				}
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > len(q)/10 {
+			t.Fatalf("query %d is %d mutations from nearest subject", qi, best)
+		}
+	}
+}
+
+func TestFASTAFormat(t *testing.T) {
+	db := NewDatabase(3, 100, 150, 5)
+	text := db.FASTA()
+	lines := bytes.Split(text, []byte{'\n'})
+	headers := 0
+	for _, l := range lines {
+		if len(l) == 0 {
+			continue
+		}
+		if l[0] == '>' {
+			headers++
+			continue
+		}
+		if len(l) > 70 {
+			t.Fatalf("sequence line of %d cols", len(l))
+		}
+		for _, c := range l {
+			if !bytes.ContainsRune([]byte(Alphabet), rune(c)) {
+				t.Fatalf("bad char %c", c)
+			}
+		}
+	}
+	if headers != 3 {
+		t.Fatalf("headers = %d", headers)
+	}
+}
+
+func TestESTTextSizeAndCompressibility(t *testing.T) {
+	text := ESTText(200_000, 6)
+	if len(text) > 200_000 || len(text) < 150_000 {
+		t.Fatalf("len = %d, want ~200k", len(text))
+	}
+	// The compression experiment depends on this class of data
+	// shrinking meaningfully under LZO.
+	if r := lzo.Ratio(text); r < 1.3 {
+		t.Fatalf("EST text ratio = %.2f, want >= 1.3", r)
+	}
+}

@@ -1,0 +1,366 @@
+// Package laplace reproduces the OSC 2D Laplace solver benchmark: a
+// Jacobi iteration over a fixed-size grid, row-partitioned across ranks
+// with halo exchange, writing a periodic checkpoint of the whole grid to a
+// shared remote file with individual file pointers and non-collective
+// calls (Figure 4). Variants cover the paper's synchronous baseline, the
+// asynchronous overlap version (with the wait-placement knob of Section
+// 7.1), and the double-connection version of Section 7.2.
+package laplace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/mpi"
+	"semplar/internal/mpiio"
+	"semplar/internal/stats"
+)
+
+// Mode selects the I/O strategy.
+type Mode int
+
+// I/O strategies of Figures 4 and 7.
+const (
+	// Sync blocks in MPI_File_write at every checkpoint.
+	Sync Mode = iota
+	// Async issues MPI_File_iwrite and overlaps the transfer with the
+	// following iterations (position of the wait set by WaitPos).
+	Async
+	// TwoStreams writes synchronously but through two TCP connections
+	// per node (library-level striping).
+	TwoStreams
+	// AsyncTwoStreams combines overlap with the double connection —
+	// the combination that exposed the I/O-bus contention.
+	AsyncTwoStreams
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "sync"
+	case Async:
+		return "async"
+	case TwoStreams:
+		return "2streams"
+	case AsyncTwoStreams:
+		return "async+2streams"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// WaitPos places the MPIO_Wait of the pending checkpoint (Figure 4).
+type WaitPos int
+
+const (
+	// Pos1 waits as late as possible — just before the next checkpoint
+	// — so the transfer overlaps both computation and MPI
+	// communication.
+	Pos1 WaitPos = 1
+	// Pos2 waits before the next halo exchange, so the transfer
+	// overlaps only local computation, avoiding I/O-bus contention
+	// with the interconnect (the Section 7.1 restructuring).
+	Pos2 WaitPos = 2
+)
+
+// Config parameterizes one run.
+type Config struct {
+	N               int // interior grid dimension (paper: 3001)
+	Iters           int // Jacobi iterations
+	CheckpointEvery int // iterations between checkpoints
+	SweepsPerIter   int // local sweeps per halo exchange (compute knob)
+	// ExchangesPerIter repeats the halo exchange to scale the MPI
+	// communication share of the "computation" phase — Section 7.1
+	// notes most of that phase is spent in MPI send/receive, which is
+	// what makes the I/O-bus contention visible.
+	ExchangesPerIter int
+	// ComputePad extends each iteration's computation phase by a fixed
+	// duration. The harness uses it to model per-node CPU time on
+	// hosts with fewer cores than simulated ranks, where real sweeps
+	// would serialize in wall-clock time.
+	ComputePad time.Duration
+	Mode       Mode
+	WaitPos    WaitPos // used by Async*; default Pos1
+	Streams    int     // connections per node for *TwoStreams; default 2
+	Path       string  // checkpoint file, e.g. "srb:/ckpt"
+	Hints      adio.Hints
+}
+
+func (c *Config) setDefaults() {
+	if c.N <= 0 {
+		c.N = 128
+	}
+	if c.Iters <= 0 {
+		c.Iters = 20
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.SweepsPerIter <= 0 {
+		c.SweepsPerIter = 1
+	}
+	if c.ExchangesPerIter <= 0 {
+		c.ExchangesPerIter = 1
+	}
+	if c.WaitPos == 0 {
+		c.WaitPos = Pos1
+	}
+	if c.Streams <= 0 {
+		c.Streams = 2
+	}
+	if c.Path == "" {
+		c.Path = "srb:/laplace.ckpt"
+	}
+}
+
+// Result is the per-run measurement, identical on every rank (reduced).
+type Result struct {
+	Exec        time.Duration
+	Phases      stats.Phases // compute (incl. MPI comm) vs blocking-I/O time
+	Checkpoints int
+	Bytes       int64   // bytes written by this job
+	Residual    float64 // final max |delta| (correctness signal)
+}
+
+// Run executes the solver on the calling rank; all ranks must call it.
+func Run(c *mpi.Comm, reg *adio.Registry, cfg Config) (Result, error) {
+	cfg.setDefaults()
+	size := c.Size()
+	rank := c.Rank()
+
+	// Row-block decomposition of the interior rows [0, N).
+	lo := rank * cfg.N / size
+	hi := (rank + 1) * cfg.N / size
+	rows := hi - lo
+	width := cfg.N + 2 // including boundary columns
+
+	// Local grid with one halo row above and below.
+	cur := make([]float64, (rows+2)*width)
+	next := make([]float64, (rows+2)*width)
+	// Boundary condition: the global top edge is held at 100.
+	if rank == 0 {
+		for j := 0; j < width; j++ {
+			cur[j] = 100
+			next[j] = 100
+		}
+	}
+
+	hints := adio.Hints{}
+	for k, v := range cfg.Hints {
+		hints[k] = v
+	}
+	streams := 1
+	if cfg.Mode == TwoStreams || cfg.Mode == AsyncTwoStreams {
+		streams = cfg.Streams
+	}
+	hints["streams"] = strconv.Itoa(streams)
+	if _, ok := hints["stripe_size"]; !ok && streams > 1 {
+		// Split each checkpoint write evenly across the streams.
+		stripe := (rows*width*8 + streams - 1) / streams
+		if stripe < 1 {
+			stripe = 1
+		}
+		hints["stripe_size"] = strconv.Itoa(stripe)
+	}
+
+	flags := adio.O_RDWR | adio.O_CREATE
+	f, err := mpiio.Open(c, reg, cfg.Path, flags, hints)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+
+	async := cfg.Mode == Async || cfg.Mode == AsyncTwoStreams
+	// Double buffering: an iwrite's buffer must stay untouched until the
+	// request completes.
+	ckptBuf := [2][]byte{
+		make([]byte, rows*width*8),
+		make([]byte, rows*width*8),
+	}
+	bufIdx := 0
+	var pending *mpiio.Request
+
+	res := Result{}
+	var computeTime, ioTime time.Duration
+	offset := int64(lo) * int64(width) * 8
+
+	wait := func() error {
+		if pending == nil {
+			return nil
+		}
+		t0 := time.Now()
+		_, werr := mpiio.Wait(pending)
+		ioTime += time.Since(t0)
+		pending = nil
+		return werr
+	}
+
+	c.Barrier()
+	start := time.Now()
+	for iter := 1; iter <= cfg.Iters; iter++ {
+		// Local computation.
+		t0 := time.Now()
+		var delta float64
+		for s := 0; s < cfg.SweepsPerIter; s++ {
+			delta = sweep(cur, next, rows, width)
+			cur, next = next, cur
+		}
+		res.Residual = delta
+		if cfg.ComputePad > 0 {
+			time.Sleep(cfg.ComputePad)
+		}
+		computeTime += time.Since(t0)
+
+		// Section 7.1 restructuring: wait here so the checkpoint
+		// transfer never overlaps MPI communication.
+		if async && cfg.WaitPos == Pos2 {
+			if err := wait(); err != nil {
+				return res, err
+			}
+		}
+
+		// Halo exchange (MPI communication; the paper counts it as
+		// part of the computation phase).
+		t0 = time.Now()
+		for e := 0; e < cfg.ExchangesPerIter; e++ {
+			exchangeHalos(c, cur, rows, width, rank, size)
+		}
+		computeTime += time.Since(t0)
+
+		// Periodic checkpoint.
+		if iter%cfg.CheckpointEvery == 0 {
+			if async {
+				// Pos1: wait as late as possible, right before
+				// reusing the request slot.
+				if err := wait(); err != nil {
+					return res, err
+				}
+				t0 = time.Now()
+				buf := ckptBuf[bufIdx]
+				bufIdx = 1 - bufIdx
+				encodeRows(buf, cur, rows, width)
+				pending = f.IWriteAt(buf, offset)
+				ioTime += time.Since(t0) // issue cost only
+			} else {
+				t0 = time.Now()
+				buf := ckptBuf[0]
+				encodeRows(buf, cur, rows, width)
+				if _, err := f.WriteAt(buf, offset); err != nil {
+					return res, err
+				}
+				ioTime += time.Since(t0)
+			}
+			res.Checkpoints++
+			res.Bytes += int64(rows * width * 8)
+		}
+	}
+	if err := wait(); err != nil {
+		return res, err
+	}
+	c.Barrier()
+	res.Exec = time.Since(start)
+
+	// Reduce to job-wide maxima so all ranks report the same numbers.
+	res.Exec = maxDuration(c, res.Exec)
+	res.Phases = stats.Phases{
+		Compute: maxDuration(c, computeTime),
+		IO:      maxDuration(c, ioTime),
+	}
+	res.Bytes = int64(c.AllreduceFloat64(float64(res.Bytes), mpi.OpSum))
+	res.Residual = c.AllreduceFloat64(res.Residual, mpi.OpMax)
+	return res, nil
+}
+
+func maxDuration(c *mpi.Comm, d time.Duration) time.Duration {
+	return time.Duration(c.AllreduceFloat64(float64(d), mpi.OpMax))
+}
+
+// SweepProbe exposes one Jacobi sweep for calibration (the harness uses
+// it to size the compute phase against a testbed's I/O time).
+func SweepProbe(cur, next []float64, rows, width int) float64 {
+	return sweep(cur, next, rows, width)
+}
+
+// sweep performs one Jacobi relaxation over the interior cells and
+// returns the maximum cell delta.
+func sweep(cur, next []float64, rows, width int) float64 {
+	var maxDelta float64
+	for i := 1; i <= rows; i++ {
+		row := i * width
+		up := row - width
+		down := row + width
+		for j := 1; j < width-1; j++ {
+			v := 0.25 * (cur[up+j] + cur[down+j] + cur[row+j-1] + cur[row+j+1])
+			if d := math.Abs(v - cur[row+j]); d > maxDelta {
+				maxDelta = d
+			}
+			next[row+j] = v
+		}
+		// Preserve boundary columns.
+		next[row] = cur[row]
+		next[row+width-1] = cur[row+width-1]
+	}
+	// Preserve halo rows (refreshed by the next exchange).
+	copy(next[:width], cur[:width])
+	copy(next[(rows+1)*width:], cur[(rows+1)*width:])
+	return maxDelta
+}
+
+// exchangeHalos swaps edge rows with the neighbor ranks.
+func exchangeHalos(c *mpi.Comm, grid []float64, rows, width, rank, size int) {
+	const tagUp, tagDown = 101, 102
+	top := grid[width : 2*width]                // first owned row
+	bottom := grid[rows*width : (rows+1)*width] // last owned row
+
+	if rank > 0 && rank < size-1 {
+		// Exchange with both neighbors concurrently.
+		up := c.SendRecv(rank-1, tagUp, encodeFloat64s(top), rank-1, tagDown)
+		decodeInto(grid[:width], up)
+		down := c.SendRecv(rank+1, tagDown, encodeFloat64s(bottom), rank+1, tagUp)
+		decodeInto(grid[(rows+1)*width:], down)
+		return
+	}
+	if rank > 0 { // bottom rank: only an upper neighbor
+		up := c.SendRecv(rank-1, tagUp, encodeFloat64s(top), rank-1, tagDown)
+		decodeInto(grid[:width], up)
+	}
+	if rank < size-1 { // top rank: only a lower neighbor
+		down := c.SendRecv(rank+1, tagDown, encodeFloat64s(bottom), rank+1, tagUp)
+		decodeInto(grid[(rows+1)*width:], down)
+	}
+}
+
+func encodeFloat64s(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeInto(dst []float64, data []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}
+
+// encodeRows serializes the owned rows (excluding halos) into buf.
+func encodeRows(buf []byte, grid []float64, rows, width int) {
+	for i := 0; i < rows*width; i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(grid[width+i]))
+	}
+}
+
+// DecodeGrid decodes a checkpoint file image back into row-major floats
+// (for verification).
+func DecodeGrid(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package laplace
+
+import (
+	"math"
+	"testing"
+
+	"semplar/internal/adio"
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/mpi"
+)
+
+// memRun executes the solver against the in-memory local FS (no WAN).
+func memRun(t *testing.T, np int, cfg Config) Result {
+	t.Helper()
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	if cfg.Path == "" {
+		cfg.Path = "mem:/ckpt"
+	}
+	var res Result
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		r, err := Run(c, reg, cfg)
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSweepConvergesTowardBoundary(t *testing.T) {
+	// Single rank, enough iterations: heat diffuses from the top edge,
+	// residual shrinks monotonically (Jacobi on Laplace is a
+	// contraction).
+	res := memRun(t, 1, Config{N: 24, Iters: 200, CheckpointEvery: 1000, Mode: Sync})
+	if res.Residual <= 0 || res.Residual > 1.0 {
+		t.Fatalf("residual after 200 iters = %v", res.Residual)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The checkpoint written by np ranks must equal the one written by
+	// one rank: the halo exchange is correct iff the grids agree.
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+
+	run := func(np int, path string) []float64 {
+		cfg := Config{N: 32, Iters: 12, CheckpointEvery: 12, Mode: Sync, Path: path}
+		if err := mpi.Run(np, func(c *mpi.Comm) error {
+			_, err := Run(c, reg, cfg)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := mem.Open(path[len("mem:"):], adio.O_RDONLY, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sz, _ := f.Size()
+		buf := make([]byte, sz)
+		f.ReadAt(buf, 0)
+		return DecodeGrid(buf)
+	}
+
+	serial := run(1, "mem:/serial")
+	for _, np := range []int{2, 3, 5} {
+		parallel := run(np, "mem:/parallel")
+		if len(parallel) != len(serial) {
+			t.Fatalf("np=%d: size %d vs %d", np, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if math.Abs(serial[i]-parallel[i]) > 1e-12 {
+				t.Fatalf("np=%d: cell %d differs: %v vs %v",
+					np, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func TestAsyncMatchesSync(t *testing.T) {
+	mem := adio.NewMemFS()
+	reg := &adio.Registry{}
+	reg.Register(mem)
+	run := func(mode Mode, pos WaitPos, path string) []float64 {
+		cfg := Config{N: 20, Iters: 15, CheckpointEvery: 5, Mode: mode,
+			WaitPos: pos, Path: path}
+		if err := mpi.Run(3, func(c *mpi.Comm) error {
+			_, err := Run(c, reg, cfg)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := mem.Open(path[len("mem:"):], adio.O_RDONLY, nil)
+		defer f.Close()
+		sz, _ := f.Size()
+		buf := make([]byte, sz)
+		f.ReadAt(buf, 0)
+		return DecodeGrid(buf)
+	}
+	syncGrid := run(Sync, Pos1, "mem:/s")
+	for _, pos := range []WaitPos{Pos1, Pos2} {
+		asyncGrid := run(Async, pos, "mem:/a")
+		if len(asyncGrid) != len(syncGrid) {
+			t.Fatal("size mismatch")
+		}
+		for i := range syncGrid {
+			if syncGrid[i] != asyncGrid[i] {
+				t.Fatalf("pos=%d cell %d: sync %v async %v", pos, i, syncGrid[i], asyncGrid[i])
+			}
+		}
+	}
+}
+
+func TestCheckpointAccounting(t *testing.T) {
+	res := memRun(t, 2, Config{N: 16, Iters: 10, CheckpointEvery: 3, Mode: Sync})
+	if res.Checkpoints != 3 { // iters 3, 6, 9
+		t.Fatalf("checkpoints = %d", res.Checkpoints)
+	}
+	want := int64(3 * 16 * 18 * 8) // per job: ckpts * N rows * width * 8
+	if res.Bytes != want {
+		t.Fatalf("bytes = %d want %d", res.Bytes, want)
+	}
+	if res.Exec <= 0 || res.Phases.Compute <= 0 || res.Phases.IO <= 0 {
+		t.Fatalf("phases = %+v exec = %v", res.Phases, res.Exec)
+	}
+}
+
+func TestModesOverTestbed(t *testing.T) {
+	// All four modes produce a correct checkpoint over the simulated
+	// WAN testbed.
+	tb := cluster.New(cluster.TGNCSA().Scaled(400), 2)
+	for _, mode := range []Mode{Sync, Async, TwoStreams, AsyncTwoStreams} {
+		cfg := Config{N: 24, Iters: 6, CheckpointEvery: 3, Mode: mode,
+			Path: "srb:/ck-" + mode.String()}
+		err := mpi.RunOn(2, tb.Fabric(), func(c *mpi.Comm) error {
+			reg := tb.Registry(c.Rank(), core.SRBFSConfig{})
+			res, err := Run(c, reg, cfg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && res.Checkpoints != 2 {
+				t.Errorf("mode %v: checkpoints = %d", mode, res.Checkpoints)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		// Verify the checkpoint on the server.
+		e, err := tb.Server.Catalog().Lookup("/ck-" + mode.String())
+		if err != nil {
+			t.Fatalf("mode %v: checkpoint missing: %v", mode, err)
+		}
+		if e.Size != 24*26*8 {
+			t.Fatalf("mode %v: checkpoint size %d", mode, e.Size)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Sync.String() != "sync" || Async.String() != "async" ||
+		TwoStreams.String() != "2streams" || AsyncTwoStreams.String() != "async+2streams" {
+		t.Fatal("mode strings")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode string")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var cfg Config
+	cfg.setDefaults()
+	if cfg.N == 0 || cfg.Iters == 0 || cfg.CheckpointEvery == 0 ||
+		cfg.WaitPos != Pos1 || cfg.Streams != 2 || cfg.Path == "" {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

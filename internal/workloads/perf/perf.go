@@ -1,0 +1,116 @@
+// Package perf reproduces the ROMIO perf microbenchmark: every process
+// writes a data array to a shared file at a fixed, rank-determined
+// location with MPI_File_write_at, then reads it back, and the benchmark
+// reports aggregate bandwidth. The multi-stream variant (Section 7.2)
+// stripes each process's array over concurrent TCP connections via the
+// SEMPLAR driver's streams hint.
+package perf
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/mpi"
+	"semplar/internal/mpiio"
+	"semplar/internal/stats"
+)
+
+// Config parameterizes one perf run.
+type Config struct {
+	ArrayBytes int    // per-process array (paper: 32 MB)
+	Streams    int    // TCP streams per node (1 or 2 in the paper)
+	StripeSize int    // default: ArrayBytes/Streams (one big split write)
+	Path       string // shared file
+	Hints      adio.Hints
+	Verify     bool // check the read-back pattern
+	SkipRead   bool // write-only runs
+}
+
+func (c *Config) setDefaults() {
+	if c.ArrayBytes <= 0 {
+		c.ArrayBytes = 1 << 20
+	}
+	if c.Streams <= 0 {
+		c.Streams = 1
+	}
+	if c.StripeSize <= 0 {
+		c.StripeSize = (c.ArrayBytes + c.Streams - 1) / c.Streams
+	}
+	if c.Path == "" {
+		c.Path = "srb:/perf.dat"
+	}
+}
+
+// Result reports aggregate bandwidths (all ranks see the same values).
+type Result struct {
+	WriteTime time.Duration
+	ReadTime  time.Duration
+	WriteMbps float64 // aggregate, megabits/sec (the paper's unit)
+	ReadMbps  float64
+	Bytes     int64 // aggregate bytes moved per direction
+}
+
+// Run executes perf; all ranks must call it.
+func Run(c *mpi.Comm, reg *adio.Registry, cfg Config) (Result, error) {
+	cfg.setDefaults()
+	rank := c.Rank()
+
+	hints := adio.Hints{}
+	for k, v := range cfg.Hints {
+		hints[k] = v
+	}
+	hints["streams"] = strconv.Itoa(cfg.Streams)
+	hints["stripe_size"] = strconv.Itoa(cfg.StripeSize)
+
+	f, err := mpiio.Open(c, reg, cfg.Path, adio.O_RDWR|adio.O_CREATE, hints)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+
+	// Each process writes at a fixed location determined by its rank.
+	data := make([]byte, cfg.ArrayBytes)
+	for i := range data {
+		data[i] = byte(rank + i*7)
+	}
+	offset := int64(rank) * int64(cfg.ArrayBytes)
+
+	res := Result{Bytes: int64(cfg.ArrayBytes) * int64(c.Size())}
+
+	c.Barrier()
+	t0 := time.Now()
+	if _, err := f.WriteAt(data, offset); err != nil {
+		return res, fmt.Errorf("perf: rank %d write: %w", rank, err)
+	}
+	c.Barrier()
+	res.WriteTime = time.Since(t0)
+
+	if !cfg.SkipRead {
+		got := make([]byte, cfg.ArrayBytes)
+		c.Barrier()
+		t0 = time.Now()
+		if _, err := f.ReadAt(got, offset); err != nil {
+			return res, fmt.Errorf("perf: rank %d read: %w", rank, err)
+		}
+		c.Barrier()
+		res.ReadTime = time.Since(t0)
+
+		if cfg.Verify {
+			for i := range got {
+				if got[i] != data[i] {
+					return res, fmt.Errorf("perf: rank %d verify failed at byte %d", rank, i)
+				}
+			}
+		}
+	}
+
+	// Agree on the slowest-rank times (the barriers make per-rank times
+	// nearly equal already, but reduce for determinism).
+	res.WriteTime = time.Duration(c.AllreduceFloat64(float64(res.WriteTime), mpi.OpMax))
+	res.ReadTime = time.Duration(c.AllreduceFloat64(float64(res.ReadTime), mpi.OpMax))
+	res.WriteMbps = stats.MbPerSec(res.Bytes, res.WriteTime)
+	res.ReadMbps = stats.MbPerSec(res.Bytes, res.ReadTime)
+	return res, nil
+}

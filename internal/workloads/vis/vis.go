@@ -1,0 +1,204 @@
+// Package vis models the visualization workload the paper's introduction
+// motivates: tools that "read large amounts of data periodically for
+// subsequent computation". Each rank repeatedly reads its slab of the next
+// timestep frame from the remote store and renders it. The asynchronous
+// variant prefetches frame k+1 with MPI_File_iread_at while frame k
+// renders — double buffering over the WAN.
+package vis
+
+import (
+	"fmt"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/mpi"
+	"semplar/internal/mpiio"
+	"semplar/internal/stats"
+)
+
+// Mode selects the read strategy.
+type Mode int
+
+// Modes.
+const (
+	// Sync blocks reading each frame before rendering it.
+	Sync Mode = iota
+	// Prefetch overlaps the read of frame k+1 with the rendering of
+	// frame k using the asynchronous primitives.
+	Prefetch
+)
+
+func (m Mode) String() string {
+	if m == Prefetch {
+		return "prefetch"
+	}
+	return "sync"
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Frames     int           // timesteps
+	FrameBytes int           // per-rank bytes per frame
+	RenderPad  time.Duration // additional render time per frame
+	Mode       Mode
+	Path       string // dataset file (must exist and be large enough)
+	Hints      adio.Hints
+}
+
+func (c *Config) setDefaults() {
+	if c.Frames <= 0 {
+		c.Frames = 8
+	}
+	if c.FrameBytes <= 0 {
+		c.FrameBytes = 256 << 10
+	}
+	if c.Path == "" {
+		c.Path = "srb:/dataset"
+	}
+}
+
+// DatasetBytes returns the file size a run requires.
+func (c Config) DatasetBytes(np int) int64 {
+	cfg := c
+	cfg.setDefaults()
+	return int64(cfg.Frames) * int64(np) * int64(cfg.FrameBytes)
+}
+
+// WriteDataset populates the dataset file with a deterministic pattern so
+// renders can verify what they read. Call from one rank (or outside MPI).
+func WriteDataset(reg *adio.Registry, cfg Config, np int) error {
+	cfg.setDefaults()
+	f, err := mpiio.OpenLocal(reg, cfg.Path, adio.O_WRONLY|adio.O_CREATE|adio.O_TRUNC, cfg.Hints)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	slab := make([]byte, cfg.FrameBytes)
+	for frame := 0; frame < cfg.Frames; frame++ {
+		for rank := 0; rank < np; rank++ {
+			fillSlab(slab, frame, rank)
+			off := slabOffset(cfg, np, frame, rank)
+			if _, err := f.WriteAt(slab, off); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func slabOffset(cfg Config, np, frame, rank int) int64 {
+	return (int64(frame)*int64(np) + int64(rank)) * int64(cfg.FrameBytes)
+}
+
+func fillSlab(p []byte, frame, rank int) {
+	seed := byte(frame*31 + rank*7 + 1)
+	for i := range p {
+		p[i] = seed + byte(i)
+	}
+}
+
+func checkSlab(p []byte, frame, rank int) error {
+	seed := byte(frame*31 + rank*7 + 1)
+	for i, b := range p {
+		if b != seed+byte(i) {
+			return fmt.Errorf("vis: frame %d rank %d corrupted at byte %d", frame, rank, i)
+		}
+	}
+	return nil
+}
+
+// Result is the job-wide measurement (identical on all ranks).
+type Result struct {
+	Exec   time.Duration
+	Phases stats.Phases // render (compute) vs blocking-read time
+	Frames int
+	Bytes  int64
+}
+
+// Run executes the visualization loop; all ranks must call it and the
+// dataset must have been written first.
+func Run(c *mpi.Comm, reg *adio.Registry, cfg Config) (Result, error) {
+	cfg.setDefaults()
+	np := c.Size()
+	rank := c.Rank()
+
+	f, err := mpiio.Open(c, reg, cfg.Path, adio.O_RDONLY, cfg.Hints)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+
+	bufs := [2][]byte{
+		make([]byte, cfg.FrameBytes),
+		make([]byte, cfg.FrameBytes),
+	}
+	var computeTime, ioTime time.Duration
+	res := Result{}
+
+	c.Barrier()
+	start := time.Now()
+	switch cfg.Mode {
+	case Sync:
+		for frame := 0; frame < cfg.Frames; frame++ {
+			t0 := time.Now()
+			if _, err := f.ReadAt(bufs[0], slabOffset(cfg, np, frame, rank)); err != nil {
+				return res, err
+			}
+			ioTime += time.Since(t0)
+			t0 = time.Now()
+			if err := render(bufs[0], frame, rank, cfg.RenderPad); err != nil {
+				return res, err
+			}
+			computeTime += time.Since(t0)
+			res.Frames++
+			res.Bytes += int64(cfg.FrameBytes)
+		}
+	case Prefetch:
+		// Double buffering: frame k renders while k+1 loads. The I/O
+		// phase records only the time the compute thread blocks in
+		// Wait — the rest of each transfer hides under rendering.
+		pending := f.IReadAt(bufs[0], slabOffset(cfg, np, 0, rank))
+		for frame := 0; frame < cfg.Frames; frame++ {
+			cur := bufs[frame%2]
+			tw := time.Now()
+			if _, err := mpiio.Wait(pending); err != nil {
+				return res, err
+			}
+			ioTime += time.Since(tw)
+			if frame+1 < cfg.Frames {
+				pending = f.IReadAt(bufs[(frame+1)%2], slabOffset(cfg, np, frame+1, rank))
+			}
+			tr := time.Now()
+			if err := render(cur, frame, rank, cfg.RenderPad); err != nil {
+				return res, err
+			}
+			computeTime += time.Since(tr)
+			res.Frames++
+			res.Bytes += int64(cfg.FrameBytes)
+		}
+	default:
+		return res, fmt.Errorf("vis: unknown mode %d", cfg.Mode)
+	}
+	c.Barrier()
+	res.Exec = time.Since(start)
+
+	res.Exec = time.Duration(c.AllreduceFloat64(float64(res.Exec), mpi.OpMax))
+	res.Phases = stats.Phases{
+		Compute: time.Duration(c.AllreduceFloat64(float64(computeTime), mpi.OpMax)),
+		IO:      time.Duration(c.AllreduceFloat64(float64(ioTime), mpi.OpMax)),
+	}
+	res.Bytes = int64(c.AllreduceFloat64(float64(res.Bytes), mpi.OpSum))
+	return res, nil
+}
+
+// render verifies the slab contents (the real work a renderer would do
+// with the bytes) and pads to the configured render time.
+func render(p []byte, frame, rank int, pad time.Duration) error {
+	if err := checkSlab(p, frame, rank); err != nil {
+		return err
+	}
+	if pad > 0 {
+		time.Sleep(pad)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package vis
+
+import (
+	"testing"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/mpi"
+)
+
+func memReg() *adio.Registry {
+	r := &adio.Registry{}
+	r.Register(adio.NewMemFS())
+	return r
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	reg := memReg()
+	cfg := Config{Frames: 3, FrameBytes: 4096, Path: "mem:/ds"}
+	const np = 2
+	if err := WriteDataset(reg, cfg, np); err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := reg.Lookup("mem")
+	f, err := mem.Open("/ds", adio.O_RDONLY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	f.Close()
+	if sz != cfg.DatasetBytes(np) {
+		t.Fatalf("dataset size = %d want %d", sz, cfg.DatasetBytes(np))
+	}
+}
+
+func TestRunVerifiesContent(t *testing.T) {
+	for _, mode := range []Mode{Sync, Prefetch} {
+		reg := memReg()
+		cfg := Config{Frames: 5, FrameBytes: 8192, Path: "mem:/v", Mode: mode}
+		const np = 3
+		if err := WriteDataset(reg, cfg, np); err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			r, err := Run(c, reg, cfg)
+			if c.Rank() == 0 {
+				res = r
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Frames != 5 {
+			t.Fatalf("mode %v: frames = %d", mode, res.Frames)
+		}
+		if res.Bytes != int64(np*5*8192) {
+			t.Fatalf("mode %v: bytes = %d", mode, res.Bytes)
+		}
+	}
+}
+
+func TestRunDetectsCorruption(t *testing.T) {
+	reg := memReg()
+	cfg := Config{Frames: 2, FrameBytes: 1024, Path: "mem:/c"}
+	if err := WriteDataset(reg, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte of frame 1.
+	mem, _ := reg.Lookup("mem")
+	f, _ := mem.Open("/c", adio.O_RDWR, nil)
+	f.WriteAt([]byte{0xFF}, 1024+17)
+	f.Close()
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		_, err := Run(c, reg, cfg)
+		return err
+	})
+	if err == nil {
+		t.Fatal("corrupted frame rendered without error")
+	}
+}
+
+func TestPrefetchOverlapsOnTestbed(t *testing.T) {
+	// On the WAN testbed with render time ~ transfer time, prefetch
+	// must beat sync by a wide margin.
+	spec := cluster.DAS2().Scaled(20)
+	const np = 2
+	cfg := Config{
+		Frames:     6,
+		FrameBytes: 256 << 10, // ~36 ms per frame at the scaled stream rate
+		RenderPad:  30 * time.Millisecond,
+		Path:       "srb:/frames",
+	}
+	run := func(mode Mode) time.Duration {
+		tb := cluster.New(spec, np)
+		// Stage the dataset through node 0's path.
+		if err := WriteDataset(tb.Registry(0, core.SRBFSConfig{}), cfg, np); err != nil {
+			t.Fatal(err)
+		}
+		c2 := cfg
+		c2.Mode = mode
+		var res Result
+		err := mpi.RunOn(np, tb.Fabric(), func(c *mpi.Comm) error {
+			reg := tb.Registry(c.Rank(), core.SRBFSConfig{})
+			r, err := Run(c, reg, c2)
+			if c.Rank() == 0 {
+				res = r
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Exec
+	}
+	syncT := run(Sync)
+	prefT := run(Prefetch)
+	if prefT > syncT*9/10 {
+		t.Fatalf("prefetch %v vs sync %v; want clear win", prefT, syncT)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Sync.String() != "sync" || Prefetch.String() != "prefetch" {
+		t.Fatal("mode strings")
+	}
+}

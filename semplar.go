@@ -1,0 +1,252 @@
+// Package semplar is the public face of the SEMPLAR reproduction: a
+// high-performance remote I/O library that layers asynchronous primitives,
+// multi-stream striping and on-the-fly compression over an SRB-style
+// storage server, as described in "Improving the Performance of Remote I/O
+// Using Asynchronous Primitives" (Ali & Lauria, HPDC 2006).
+//
+// A Client owns the connection recipe to one SRB server; each Open
+// establishes the file's TCP streams (MPI_File_open semantics) and returns
+// a File whose nonblocking calls (IWrite, IReadAt, ...) are serviced by
+// dedicated I/O goroutines exactly as in the paper's Figure 2 design.
+//
+//	client, _ := semplar.Dial("storage.example.org:5544", semplar.Options{Streams: 2})
+//	f, _ := client.Open("/runs/ckpt", semplar.O_RDWR|semplar.O_CREATE)
+//	req := f.IWriteAt(buf, 0) // returns immediately
+//	compute()                 // overlapped with the transfer
+//	n, err := req.Wait()      // MPIO_Wait
+package semplar
+
+import (
+	"fmt"
+	"net"
+
+	"semplar/internal/adio"
+	"semplar/internal/core"
+	"semplar/internal/mpiio"
+	"semplar/internal/srb"
+)
+
+// Open flags (POSIX-like, matching the SRBFS protocol).
+const (
+	O_RDONLY = adio.O_RDONLY
+	O_WRONLY = adio.O_WRONLY
+	O_RDWR   = adio.O_RDWR
+	O_CREATE = adio.O_CREATE
+	O_TRUNC  = adio.O_TRUNC
+	O_EXCL   = adio.O_EXCL
+	O_APPEND = adio.O_APPEND
+)
+
+// Request is the handle of a nonblocking operation; Wait blocks for the
+// result (MPIO_Wait) and Test polls it (MPIO_Test).
+type Request = core.Request
+
+// DialFunc opens one transport connection to the SRB server. Every stream
+// of every open file dials its own connection.
+type DialFunc = core.DialFunc
+
+// Options tune a Client.
+type Options struct {
+	// User identifies the client to the server (default "semplar").
+	User string
+	// Resource selects the server storage resource ("" = default).
+	Resource string
+	// Streams is the default number of concurrent TCP streams per open
+	// file (default 1). Per-call OpenOptions can override it.
+	Streams int
+	// StripeSize is the striping unit across streams (default 1 MiB).
+	StripeSize int
+	// IOThreads sets each file's asynchronous I/O thread pool
+	// (default 1, the paper's configuration; use one per stream to let
+	// nonblocking calls drive the streams independently).
+	IOThreads int
+}
+
+// Client is a handle to one SRB server.
+type Client struct {
+	opts Options
+	fs   *core.SRBFS
+	reg  *adio.Registry
+	dial DialFunc
+}
+
+// Dial connects to an SRB server over TCP.
+func Dial(addr string, opts Options) (*Client, error) {
+	return NewClient(func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, opts)
+}
+
+// NewClient builds a client over a custom transport — real sockets or the
+// simulated WAN testbeds used in the evaluation harness.
+func NewClient(dial DialFunc, opts Options) (*Client, error) {
+	if dial == nil {
+		return nil, fmt.Errorf("semplar: nil dial function")
+	}
+	if opts.User == "" {
+		opts.User = "semplar"
+	}
+	fs, err := core.NewSRBFS(core.SRBFSConfig{
+		Dial:       dial,
+		User:       opts.User,
+		Resource:   opts.Resource,
+		Streams:    opts.Streams,
+		StripeSize: opts.StripeSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := &adio.Registry{}
+	reg.Register(fs)
+	return &Client{opts: opts, fs: fs, reg: reg, dial: dial}, nil
+}
+
+// OpenOptions override per-file settings.
+type OpenOptions struct {
+	Streams    int // TCP streams for this file (0 = client default)
+	StripeSize int // striping unit (0 = client default)
+	IOThreads  int // async I/O threads (0 = client default)
+}
+
+// Open opens or creates a remote file with the client defaults.
+func (c *Client) Open(path string, flags int) (*File, error) {
+	return c.OpenWith(path, flags, OpenOptions{})
+}
+
+// OpenWith opens a remote file with per-file overrides.
+func (c *Client) OpenWith(path string, flags int, oo OpenOptions) (*File, error) {
+	hints := adio.Hints{}
+	if oo.Streams > 0 {
+		hints["streams"] = fmt.Sprint(oo.Streams)
+	}
+	if oo.StripeSize > 0 {
+		hints["stripe_size"] = fmt.Sprint(oo.StripeSize)
+	}
+	threads := c.opts.IOThreads
+	if oo.IOThreads > 0 {
+		threads = oo.IOThreads
+	}
+	if threads > 0 {
+		hints["io_threads"] = fmt.Sprint(threads)
+	}
+	f, err := mpiio.OpenLocal(c.reg, "srb:"+path, flags, hints)
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f}, nil
+}
+
+// admin returns a short-lived control connection.
+func (c *Client) admin() (*srb.Conn, error) {
+	raw, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	return srb.NewConn(raw, c.opts.User)
+}
+
+// Remove deletes a remote file.
+func (c *Client) Remove(path string) error {
+	return c.fs.Delete(path)
+}
+
+// Mkdir creates a remote collection.
+func (c *Client) Mkdir(path string) error {
+	conn, err := c.admin()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return conn.Mkdir(path)
+}
+
+// FileInfo describes a remote file or collection.
+type FileInfo struct {
+	Path  string
+	IsDir bool
+	Size  int64
+}
+
+// Stat queries a remote path.
+func (c *Client) Stat(path string) (*FileInfo, error) {
+	conn, err := c.admin()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fi, err := conn.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileInfo{Path: fi.Path, IsDir: fi.IsDir, Size: fi.Size}, nil
+}
+
+// List enumerates a remote collection.
+func (c *Client) List(path string) ([]*FileInfo, error) {
+	conn, err := c.admin()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	entries, err := conn.List(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FileInfo, len(entries))
+	for i, e := range entries {
+		out[i] = &FileInfo{Path: e.Path, IsDir: e.IsDir, Size: e.Size}
+	}
+	return out, nil
+}
+
+// File is an open remote file. It exposes the full MPI-IO-style surface:
+// blocking Read/Write/ReadAt/WriteAt, the individual file pointer with
+// Seek/Tell, and the asynchronous IRead/IWrite/IReadAt/IWriteAt calls that
+// return Requests.
+type File struct {
+	*mpiio.File
+}
+
+// Wait blocks until a nonblocking operation completes (MPIO_Wait).
+func Wait(r *Request) (int, error) { return r.Wait() }
+
+// Test polls a nonblocking operation (MPIO_Test).
+func Test(r *Request) (n int, err error, done bool) { return r.Test() }
+
+// WaitAll waits for a batch of requests, returning total bytes and the
+// first error.
+func WaitAll(reqs []*Request) (int, error) { return mpiio.WaitAll(reqs) }
+
+// CompressStats summarizes one compressed transfer.
+type CompressStats = core.CompressStats
+
+// WriteCompressed writes data to f at off as framed LZO blocks, pipelining
+// compression of block k+1 with the transfer of block k through the file's
+// asynchronous engine (the Section 7.3 optimization). blockSize <= 0 uses
+// the paper's 1 MB.
+func WriteCompressed(f *File, off int64, data []byte, blockSize int) (CompressStats, error) {
+	return core.WriteCompressed(fileAdapter{f.File}, off, data, blockSize, f.Engine())
+}
+
+// WriteCompressedSync is the unpipelined variant: compression sits on the
+// critical path (the baseline the paper's condition inequality describes).
+func WriteCompressedSync(f *File, off int64, data []byte, blockSize int) (CompressStats, error) {
+	return core.WriteCompressed(fileAdapter{f.File}, off, data, blockSize, nil)
+}
+
+// ReadCompressed reads consecutive framed LZO blocks from f starting at
+// off, prefetching the next block while the current one decompresses.
+func ReadCompressed(f *File, off int64) ([]byte, error) {
+	return core.ReadCompressed(fileAdapter{f.File}, off, f.Engine())
+}
+
+// fileAdapter exposes the explicit-offset subset of mpiio.File as an
+// adio.File for the compression pipeline.
+type fileAdapter struct{ f *mpiio.File }
+
+func (a fileAdapter) ReadAt(p []byte, off int64) (int, error)  { return a.f.ReadAt(p, off) }
+func (a fileAdapter) WriteAt(p []byte, off int64) (int, error) { return a.f.WriteAt(p, off) }
+func (a fileAdapter) Size() (int64, error)                     { return a.f.Size() }
+func (a fileAdapter) Truncate(size int64) error                { return a.f.SetSize(size) }
+func (a fileAdapter) Sync() error                              { return a.f.Sync() }
+func (a fileAdapter) Close() error                             { return a.f.Close() }

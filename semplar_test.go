@@ -1,0 +1,209 @@
+package semplar
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+	"semplar/internal/workloads/datagen"
+)
+
+// simClient wires a client to a fresh in-memory SRB server.
+func simClient(t *testing.T, opts Options) (*Client, *srb.Server) {
+	t.Helper()
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	c, err := NewClient(func() (net.Conn, error) {
+		cEnd, sEnd := netsim.Pipe(0, nil, nil)
+		go srv.ServeConn(sEnd)
+		return cEnd, nil
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestClientOpenWriteRead(t *testing.T) {
+	c, _ := simClient(t, Options{})
+	f, err := c.Open("/data", O_RDWR|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	msg := []byte("public api round trip")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestAsyncRequests(t *testing.T) {
+	c, _ := simClient(t, Options{IOThreads: 2})
+	f, err := c.Open("/async", O_RDWR|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var reqs []*Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, f.IWriteAt(bytes.Repeat([]byte{byte(i)}, 256), int64(i*256)))
+	}
+	if n, err := WaitAll(reqs); err != nil || n != 5*256 {
+		t.Fatalf("waitall = %d, %v", n, err)
+	}
+	req := f.IReadAt(make([]byte, 256), 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, done := Test(req); done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request stuck")
+		}
+	}
+	if n, err := Wait(req); err != nil || n != 256 {
+		t.Fatalf("wait = %d, %v", n, err)
+	}
+}
+
+func TestOpenWithStreams(t *testing.T) {
+	c, srv := simClient(t, Options{})
+	f, err := c.OpenWith("/striped", O_RDWR|O_CREATE, OpenOptions{Streams: 3, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := srv.Stats().ActiveConns; got != 3 {
+		t.Fatalf("streams = %d conns, want 3", got)
+	}
+	data := bytes.Repeat([]byte("x"), 10_000)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped mismatch")
+	}
+}
+
+func TestAdminOps(t *testing.T) {
+	c, _ := simClient(t, Options{})
+	if err := c.Mkdir("/proj"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Open("/proj/file", O_WRONLY|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("12345"), 0)
+	f.Close()
+
+	st, err := c.Stat("/proj/file")
+	if err != nil || st.Size != 5 || st.IsDir {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	ls, err := c.List("/proj")
+	if err != nil || len(ls) != 1 || ls[0].Path != "/proj/file" {
+		t.Fatalf("list = %+v, %v", ls, err)
+	}
+	if err := c.Remove("/proj/file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/proj/file"); err == nil {
+		t.Fatal("stat after remove")
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	c, srv := simClient(t, Options{})
+	f, err := c.Open("/est", O_RDWR|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src := datagen.ESTText(300_000, 3)
+	stats, err := WriteCompressed(f, 0, src, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ratio() < 1.5 {
+		t.Fatalf("ratio = %.2f", stats.Ratio())
+	}
+	// The server holds fewer bytes than the application wrote.
+	if got := srv.Stats().BytesWritten; got >= int64(len(src)) {
+		t.Fatalf("server stored %d bytes for %d input", got, len(src))
+	}
+	back, err := ReadCompressed(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("compressed round trip mismatch")
+	}
+
+	// Sync variant behaves identically on the data path.
+	f2, _ := c.Open("/est2", O_RDWR|O_CREATE)
+	defer f2.Close()
+	if _, err := WriteCompressedSync(f2, 0, src[:100_000], 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadCompressed(f2, 0)
+	if err != nil || !bytes.Equal(back2, src[:100_000]) {
+		t.Fatalf("sync compressed round trip: %v", err)
+	}
+}
+
+func TestOverlapThroughPublicAPI(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{WriteRate: 10 * netsim.MBps})
+	c, err := NewClient(func() (net.Conn, error) {
+		cEnd, sEnd := netsim.Pipe(0, nil, nil)
+		go srv.ServeConn(sEnd)
+		return cEnd, nil
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Open("/overlap", O_WRONLY|O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	req := f.IWriteAt(make([]byte, 1<<20), 0) // ~100 ms of I/O
+	time.Sleep(100 * time.Millisecond)        // 100 ms of compute
+	if _, err := Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 170*time.Millisecond {
+		t.Fatalf("no overlap through public API: %v", el)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(nil, Options{}); err == nil {
+		t.Fatal("nil dial accepted")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	c, err := Dial("127.0.0.1:1", Options{}) // nothing listens on port 1
+	if err != nil {
+		return // Dial may fail immediately, also fine
+	}
+	if _, err := c.Open("/x", O_RDONLY); err == nil {
+		t.Fatal("open against dead server succeeded")
+	}
+}
