@@ -1,0 +1,26 @@
+# Tier-1 verification in one command: `make check`.
+GO ?= go
+
+# Packages where the race detector runs fast and where concurrency is
+# hottest (async engine, striped streams, retry/reconnect, wire client,
+# fault injection).
+RACE_PKGS = ./internal/core ./internal/srb ./internal/mpiio ./internal/netsim
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -7,6 +7,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -169,8 +170,7 @@ func (e *Engine) ioThread() {
 		e.active++
 		e.mu.Unlock()
 
-		n, err := t.fn()
-		t.req.complete(n, err)
+		runTask(t)
 
 		e.mu.Lock()
 		e.active--
@@ -178,6 +178,19 @@ func (e *Engine) ioThread() {
 		e.cond.Broadcast()
 		e.mu.Unlock()
 	}
+}
+
+// runTask executes one queued operation, converting a panic in the
+// operation into a failed request instead of killing the I/O thread (which
+// would strand the request's waiter forever and shrink the pool).
+func runTask(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.req.complete(0, fmt.Errorf("core: async operation panicked: %v", r))
+		}
+	}()
+	n, err := t.fn()
+	t.req.complete(n, err)
 }
 
 // Drain blocks until every submitted operation has completed.

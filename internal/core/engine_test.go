@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -215,5 +216,51 @@ func TestNewEngineClampsThreads(t *testing.T) {
 	}
 	if NewEngine(7).Threads() != 7 {
 		t.Fatal("thread count")
+	}
+}
+
+func TestEngineSubmitCloseRace(t *testing.T) {
+	// Submit and Close racing from many goroutines: every request must
+	// still complete (with a result or ErrEngineClosed), no hang, no
+	// race-detector report.
+	for iter := 0; iter < 25; iter++ {
+		e := NewEngine(4)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					req := e.Submit(func() (int, error) { return 1, nil })
+					if n, err := req.Wait(); err == nil && n != 1 {
+						t.Errorf("bad result %d", n)
+					} else if err != nil && !errors.Is(err, ErrEngineClosed) {
+						t.Errorf("unexpected error: %v", err)
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+		wg.Wait()
+		e.Close()
+	}
+}
+
+func TestEnginePanickingOpFailsRequest(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	req := e.Submit(func() (int, error) { panic("disk on fire") })
+	n, err := req.Wait()
+	if err == nil || n != 0 {
+		t.Fatalf("panicking op = %d, %v; want error", n, err)
+	}
+	// The pool survives: later submissions still run.
+	req2 := e.Submit(func() (int, error) { return 7, nil })
+	if n, err := req2.Wait(); n != 7 || err != nil {
+		t.Fatalf("post-panic submit = %d, %v", n, err)
 	}
 }

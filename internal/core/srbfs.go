@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"semplar/internal/adio"
 	"semplar/internal/srb"
@@ -16,6 +19,12 @@ import (
 // per-request WAN round trip is amortized; applications that issue one big
 // write per I/O phase (the paper's pattern) want stripe ~ transfer/streams.
 const DefaultStripeSize = 1 << 20
+
+// DefaultReconnectBudget bounds how many times one open handle may redial
+// a dead stream over its lifetime when the retry policy is enabled but no
+// explicit budget is configured. The budget is what keeps a hard-down
+// server from turning into an unbounded reconnect loop.
+const DefaultReconnectBudget = 8
 
 // DialFunc opens one new transport connection to the SRB server. Every
 // stream of every open file gets its own connection — each with a separate
@@ -33,6 +42,14 @@ type SRBFSConfig struct {
 	// StripeSize is the striping unit across streams; hint
 	// "stripe_size" overrides it.
 	StripeSize int
+	// Retry governs per-operation deadlines and the retry/reconnect
+	// behavior of every stream. The zero value fails fast on the first
+	// transport error (the historical behavior).
+	Retry srb.RetryPolicy
+	// ReconnectBudget caps stream redials per open handle. Zero with an
+	// enabled Retry policy means DefaultReconnectBudget; negative
+	// disables reconnection while keeping same-connection retries.
+	ReconnectBudget int
 }
 
 // SRBFS is the high-performance ADIO implementation for the SRB filesystem
@@ -56,6 +73,12 @@ func NewSRBFS(cfg SRBFSConfig) (*SRBFS, error) {
 	if cfg.User == "" {
 		cfg.User = "semplar"
 	}
+	if cfg.ReconnectBudget == 0 && cfg.Retry.Enabled() {
+		cfg.ReconnectBudget = DefaultReconnectBudget
+	}
+	if cfg.ReconnectBudget < 0 {
+		cfg.ReconnectBudget = 0
+	}
 	return &SRBFS{cfg: cfg}, nil
 }
 
@@ -72,12 +95,15 @@ func (d *SRBFS) Delete(path string) error {
 	return conn.Unlink(path)
 }
 
+// connect dials and handshakes one connection, retrying transient dial
+// failures under the configured policy and installing its per-operation
+// deadline.
 func (d *SRBFS) connect() (*srb.Conn, error) {
-	raw, err := d.cfg.Dial()
+	conn, err := srb.DialRetry(d.cfg.Dial, d.cfg.User, d.cfg.Retry)
 	if err != nil {
 		return nil, fmt.Errorf("core: dial SRB server: %w", err)
 	}
-	return srb.NewConn(raw, d.cfg.User)
+	return conn, nil
 }
 
 // Open implements adio.Driver. Supported hints: "streams" (int) and
@@ -100,7 +126,15 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		stripe = n
 	}
 
-	f := &srbFile{path: path, stripe: int64(stripe)}
+	f := &srbFile{
+		fs:     d,
+		path:   path,
+		stripe: int64(stripe),
+		// Reconnects must never truncate or exclusive-create: the file
+		// exists and holds acknowledged data by the time a stream dies.
+		reopenFlags: flags &^ (adio.O_TRUNC | adio.O_EXCL),
+		budget:      d.cfg.ReconnectBudget,
+	}
 	for i := 0; i < streams; i++ {
 		conn, err := d.connect()
 		if err != nil {
@@ -112,7 +146,7 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		// the open cannot race with another node's create).
 		sf := flags
 		if i > 0 {
-			sf &^= adio.O_TRUNC | adio.O_EXCL
+			sf = f.reopenFlags
 		}
 		file, err := conn.Open(path, sf, d.cfg.Resource)
 		if err != nil {
@@ -125,25 +159,181 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 	return f, nil
 }
 
+// stream is one TCP stream of a striped handle. Its connection and file
+// handle are replaced in place by a reconnect; gen counts replacements so
+// concurrent workers that observed the same dead connection perform only
+// one redial between them.
 type stream struct {
+	mu   sync.Mutex
+	gen  int
 	conn *srb.Conn
 	file *srb.File
+}
+
+// handle snapshots the stream's current file handle and generation.
+func (s *stream) handle() (*srb.File, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.file, s.gen
+}
+
+// errStreamDown stands in for an op attempted while a stream has no live
+// connection (a previous reconnect attempt failed); it is retryable.
+var errStreamDown = errors.New("core: stream disconnected")
+
+// errBudgetExhausted is terminal: the handle spent its reconnect budget.
+var errBudgetExhausted = errors.New("core: reconnect budget exhausted")
+
+// FaultStats counts one handle's fault-recovery activity.
+type FaultStats struct {
+	// Reconnects is the number of stream redials attempted.
+	Reconnects int64
+	// RetriedOps is the number of operations that failed at least once
+	// and were replayed to completion.
+	RetriedOps int64
+	// BudgetLeft is the remaining reconnect budget.
+	BudgetLeft int
+}
+
+// FaultReporter is implemented by files that track fault-recovery metrics.
+type FaultReporter interface {
+	FaultStats() FaultStats
 }
 
 // srbFile stripes one logical file handle over its TCP streams. With one
 // stream it behaves like original SEMPLAR; with more, explicit-offset I/O
 // is split on stripe boundaries and the pieces proceed concurrently, one
 // goroutine per stream — the split-TCP optimization of Section 7.2.
+//
+// When the driver's RetryPolicy is enabled, a stream whose connection dies
+// mid-operation is transparently redialed and the failed explicit-offset
+// op replayed: ReadAt/WriteAt are idempotent (same bytes, same offsets),
+// so a replay after a partially-applied write converges to the same file
+// contents. Reconnects draw on a per-handle budget.
 type srbFile struct {
-	path    string
-	stripe  int64
-	streams []*stream
+	fs          *SRBFS
+	path        string
+	reopenFlags int
+	stripe      int64
+	streams     []*stream
+
+	mu     sync.Mutex
+	closed bool
+	budget int // remaining reconnects
+
+	reconnects atomic.Int64
+	retriedOps atomic.Int64
 }
 
 var _ adio.File = (*srbFile)(nil)
+var _ FaultReporter = (*srbFile)(nil)
 
 // Streams reports how many TCP streams back this handle.
 func (f *srbFile) Streams() int { return len(f.streams) }
+
+// FaultStats implements FaultReporter.
+func (f *srbFile) FaultStats() FaultStats {
+	f.mu.Lock()
+	left := f.budget
+	f.mu.Unlock()
+	return FaultStats{
+		Reconnects: f.reconnects.Load(),
+		RetriedOps: f.retriedOps.Load(),
+		BudgetLeft: left,
+	}
+}
+
+// doOp runs one explicit-offset operation on a stream, retrying under the
+// driver's policy: a retryable failure (dead connection, timeout) backs
+// off, redials the stream, reopens the handle and replays the op. The
+// returned byte count always describes the final attempt — a replayed op
+// reports its true full count, never partial progress from a dead stream.
+func (f *srbFile) doOp(s *stream, write bool, buf []byte, off int64) (int, error) {
+	pol := f.fs.cfg.Retry
+	var n int
+	var err error
+	for attempt := 0; ; attempt++ {
+		file, gen := s.handle()
+		if file == nil {
+			n, err = 0, errStreamDown
+		} else if write {
+			n, err = file.WriteAt(buf, off)
+		} else {
+			n, err = file.ReadAt(buf, off)
+		}
+		if err == nil || (!write && errors.Is(err, io.EOF)) {
+			if attempt > 0 {
+				f.retriedOps.Add(1)
+			}
+			return n, err
+		}
+		if !pol.Enabled() || !srb.Retryable(err) {
+			return n, err
+		}
+		if attempt+1 >= pol.MaxAttempts {
+			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
+		}
+		time.Sleep(pol.Backoff(attempt))
+		if rerr := f.recoverStream(s, gen); rerr != nil {
+			if !srb.Retryable(rerr) {
+				return n, rerr
+			}
+			// Transient reconnect failure (e.g. dial): the next
+			// attempt will find the stream down and try again.
+		}
+	}
+}
+
+// recoverStream replaces a stream's dead connection with a freshly dialed
+// one and reopens the file handle on it. gen is the generation the caller
+// observed failing; if another worker already reconnected past it, the
+// call is a no-op so one dead connection costs one redial, not one per
+// in-flight op. Each attempt — successful or not — consumes one unit of
+// the handle's reconnect budget.
+func (f *srbFile) recoverStream(s *stream, gen int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != gen {
+		return nil // already reconnected by a concurrent op
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: file closed during recovery", srb.ErrInvalid)
+	}
+	if f.budget <= 0 {
+		f.mu.Unlock()
+		return fmt.Errorf("%w (%d reconnects): %w", errBudgetExhausted,
+			f.reconnects.Load(), srb.ErrIO)
+	}
+	f.budget--
+	f.mu.Unlock()
+	f.reconnects.Add(1)
+
+	if s.conn != nil {
+		s.conn.Close() // tear down whatever is left of the dead stream
+	}
+	s.conn, s.file = nil, nil
+
+	raw, err := f.fs.cfg.Dial()
+	if err != nil {
+		return fmt.Errorf("core: reconnect dial: %w", err)
+	}
+	conn, err := srb.NewConn(raw, f.fs.cfg.User)
+	if err != nil {
+		raw.Close()
+		return fmt.Errorf("core: reconnect handshake: %w", err)
+	}
+	conn.SetOpTimeout(f.fs.cfg.Retry.OpTimeout)
+	file, err := conn.Open(f.path, f.reopenFlags, f.fs.cfg.Resource)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("core: reopen %s: %w", f.path, err)
+	}
+	s.conn, s.file = conn, file
+	s.gen++
+	return nil
+}
 
 // op is one contiguous piece of a striped transfer.
 type op struct {
@@ -191,16 +381,10 @@ func (f *srbFile) runStriped(ops []op, write bool) []opResult {
 		wg.Add(1)
 		go func(s int, idxs []int) {
 			defer wg.Done()
-			file := f.streams[s].file
+			st := f.streams[s]
 			for _, i := range idxs {
 				o := ops[i]
-				var n int
-				var err error
-				if write {
-					n, err = file.WriteAt(o.buf, o.off)
-				} else {
-					n, err = file.ReadAt(o.buf, o.off)
-				}
+				n, err := f.doOp(st, write, o.buf, o.off)
 				results[i] = opResult{n: n, err: err}
 			}
 		}(s, idxs)
@@ -214,10 +398,13 @@ type opResult struct {
 	err error
 }
 
-// WriteAt implements adio.File, striping across the streams.
+// WriteAt implements adio.File, striping across the streams. On error the
+// returned count is the contiguous prefix confirmed written — stripes past
+// the first failure are excluded even if they succeeded out of order,
+// mirroring ReadAt.
 func (f *srbFile) WriteAt(p []byte, off int64) (int, error) {
 	if len(f.streams) == 1 {
-		return f.streams[0].file.WriteAt(p, off)
+		return f.doOp(f.streams[0], true, p, off)
 	}
 	ops := f.splitStripes(p, off)
 	results := f.runStriped(ops, true)
@@ -227,6 +414,9 @@ func (f *srbFile) WriteAt(p []byte, off int64) (int, error) {
 		if r.err != nil {
 			return total, fmt.Errorf("core: stripe write at %d: %w", ops[i].off, r.err)
 		}
+		if r.n < len(ops[i].buf) {
+			return total, io.ErrShortWrite
+		}
 	}
 	return total, nil
 }
@@ -235,7 +425,7 @@ func (f *srbFile) WriteAt(p []byte, off int64) (int, error) {
 // actually available, with io.EOF when it ends before len(p).
 func (f *srbFile) ReadAt(p []byte, off int64) (int, error) {
 	if len(f.streams) == 1 {
-		return f.streams[0].file.ReadAt(p, off)
+		return f.doOp(f.streams[0], false, p, off)
 	}
 	ops := f.splitStripes(p, off)
 	results := f.runStriped(ops, false)
@@ -254,16 +444,41 @@ func (f *srbFile) ReadAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
+// metaFile returns the stream-0 file handle for metadata ops.
+func (f *srbFile) metaFile() (*srb.File, error) {
+	file, _ := f.streams[0].handle()
+	if file == nil {
+		return nil, errStreamDown
+	}
+	return file, nil
+}
+
 // Size implements adio.File.
-func (f *srbFile) Size() (int64, error) { return f.streams[0].file.Size() }
+func (f *srbFile) Size() (int64, error) {
+	file, err := f.metaFile()
+	if err != nil {
+		return 0, err
+	}
+	return file.Size()
+}
 
 // Truncate implements adio.File.
-func (f *srbFile) Truncate(size int64) error { return f.streams[0].file.Truncate(size) }
+func (f *srbFile) Truncate(size int64) error {
+	file, err := f.metaFile()
+	if err != nil {
+		return err
+	}
+	return file.Truncate(size)
+}
 
 // Sync implements adio.File, syncing every stream.
 func (f *srbFile) Sync() error {
 	for _, s := range f.streams {
-		if err := s.file.Sync(); err != nil {
+		file, _ := s.handle()
+		if file == nil {
+			continue // disconnected stream has nothing buffered
+		}
+		if err := file.Sync(); err != nil {
 			return err
 		}
 	}
@@ -271,19 +486,30 @@ func (f *srbFile) Sync() error {
 }
 
 // Close implements adio.File, closing every stream's file and connection.
+// It also retires the reconnect budget so no in-flight op redials a
+// stream after the handle is gone.
 func (f *srbFile) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
 	var first error
 	for _, s := range f.streams {
 		if s == nil {
 			continue
 		}
-		if s.file != nil {
-			if err := s.file.Close(); err != nil && first == nil {
+		s.mu.Lock()
+		file, conn := s.file, s.conn
+		s.file, s.conn = nil, nil
+		s.mu.Unlock()
+		if file != nil {
+			if err := file.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
-		if err := s.conn.Close(); err != nil && first == nil {
-			first = err
+		if conn != nil {
+			if err := conn.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	f.streams = nil

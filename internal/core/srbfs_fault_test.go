@@ -1,0 +1,421 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+// fastRetry is a test-friendly policy: quick backoff, plenty of attempts.
+func fastRetry() srb.RetryPolicy {
+	return srb.RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		OpTimeout:   5 * time.Second,
+	}
+}
+
+// trackingDialer dials fresh pipes against srv and records every client
+// endpoint so tests can inject faults on specific connections.
+type trackingDialer struct {
+	mu    sync.Mutex
+	srv   *srb.Server
+	conns []*netsim.Conn
+}
+
+func newTrackingDialer(srv *srb.Server) *trackingDialer {
+	return &trackingDialer{srv: srv}
+}
+
+func (d *trackingDialer) dial() (net.Conn, error) {
+	cEnd, sEnd := netsim.Pipe(0, nil, nil)
+	go d.srv.ServeConn(sEnd)
+	d.mu.Lock()
+	d.conns = append(d.conns, cEnd)
+	d.mu.Unlock()
+	return cEnd, nil
+}
+
+func (d *trackingDialer) conn(i int) *netsim.Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conns[i]
+}
+
+func (d *trackingDialer) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
+}
+
+func faultFS(t *testing.T, cfg SRBFSConfig) (*trackingDialer, *SRBFS) {
+	t.Helper()
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	d := newTrackingDialer(srv)
+	cfg.Dial = d.dial
+	if cfg.StripeSize == 0 {
+		cfg.StripeSize = 64 << 10
+	}
+	fs, err := NewSRBFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fs
+}
+
+func TestReconnectReplaysStripedWrite(t *testing.T) {
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2, Retry: fastRetry()})
+	f, err := fs.Open("/armored", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill stream 1's connection mid-transfer: it dies inside its first
+	// 64 KiB stripe.
+	d.conn(1).FaultAfter(32<<10, netsim.FaultClose)
+
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+	n, err := f.WriteAt(payload, 0)
+	if err != nil {
+		t.Fatalf("striped write across killed stream: %v", err)
+	}
+	if n != len(payload) {
+		t.Fatalf("recovered write reported %d bytes, want %d", n, len(payload))
+	}
+	st := f.(*srbFile).FaultStats()
+	if st.Reconnects < 1 {
+		t.Fatalf("no reconnect recorded: %+v", st)
+	}
+	if st.RetriedOps < 1 {
+		t.Fatalf("no replayed op recorded: %+v", st)
+	}
+	if d.count() < 3 {
+		t.Fatalf("no replacement connection dialed (%d total)", d.count())
+	}
+	f.Close()
+
+	// Byte-exact verification through a fresh handle.
+	f2, err := fs.Open("/armored", adio.O_RDONLY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got := make([]byte, len(payload))
+	if n, err := f2.ReadAt(got, 0); err != nil && err != io.EOF || n != len(payload) {
+		t.Fatalf("readback = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("recovered file content differs from payload")
+	}
+}
+
+func TestReconnectReplaysStripedRead(t *testing.T) {
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2, Retry: fastRetry()})
+	f, err := fs.Open("/readback", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := make([]byte, 512<<10)
+	rand.New(rand.NewSource(11)).Read(payload)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Reset stream 0 abruptly mid-read (requests are small; a tiny
+	// budget kills it on an early read request).
+	d.conn(0).FaultAfter(100, netsim.FaultClose)
+
+	got := make([]byte, len(payload))
+	n, err := f.ReadAt(got, 0)
+	if err != nil && err != io.EOF {
+		t.Fatalf("read across killed stream: %v", err)
+	}
+	if n != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("recovered read = %d bytes, corrupted=%v", n, !bytes.Equal(got, payload))
+	}
+	if st := f.(*srbFile).FaultStats(); st.Reconnects < 1 {
+		t.Fatalf("no reconnect recorded: %+v", st)
+	}
+}
+
+func TestRetryDisabledFailsFast(t *testing.T) {
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2}) // zero-value policy
+	f, err := fs.Open("/fragile", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d.conn(1).FaultAfter(32<<10, netsim.FaultClose)
+
+	if _, err := f.WriteAt(make([]byte, 1<<20), 0); err == nil {
+		t.Fatal("striped write across killed stream succeeded without retries")
+	}
+	if st := f.(*srbFile).FaultStats(); st.Reconnects != 0 {
+		t.Fatalf("reconnect happened with retries disabled: %+v", st)
+	}
+}
+
+func TestWriteAtErrorReportsContiguousPrefix(t *testing.T) {
+	// Stripes land round-robin: with 2 streams and 64 KiB stripes, the
+	// write [0, 1M) puts stripes 0,2,4,... on stream 0 and 1,3,5,... on
+	// stream 1. Killing stream 0 before any payload moves means stripe 0
+	// already failed — so the contiguous confirmed prefix is 0 even
+	// though stream 1's stripes may have completed.
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2})
+	f, err := fs.Open("/prefix", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d.conn(0).FaultAfter(0, netsim.FaultClose)
+
+	n, err := f.WriteAt(make([]byte, 1<<20), 0)
+	if err == nil {
+		t.Fatal("write with dead first stream succeeded")
+	}
+	if n != 0 {
+		t.Fatalf("contiguous prefix = %d, want 0 (stripe 0 never confirmed)", n)
+	}
+}
+
+func TestReconnectBudgetExhausted(t *testing.T) {
+	pol := fastRetry()
+	pol.MaxAttempts = 20 // plenty of attempts; the budget must stop it
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2, Retry: pol, ReconnectBudget: 2})
+	f, err := fs.Open("/doomed", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Every connection — current and future — dies almost immediately,
+	// so each reconnect buys one more failure until the budget runs out.
+	killAll := func() {
+		d.mu.Lock()
+		for _, c := range d.conns {
+			c.FaultAfter(100, netsim.FaultClose)
+		}
+		d.mu.Unlock()
+	}
+	killAll()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				killAll()
+			}
+		}
+	}()
+
+	_, err = f.WriteAt(make([]byte, 1<<20), 0)
+	if err == nil {
+		t.Fatal("write against permanently failing streams succeeded")
+	}
+	st := f.(*srbFile).FaultStats()
+	if st.Reconnects == 0 {
+		t.Fatalf("budget never consumed: %+v", st)
+	}
+	if st.Reconnects > 2 {
+		t.Fatalf("budget overrun: %d reconnects with budget 2", st.Reconnects)
+	}
+}
+
+func TestReconnectSurvivesTransientDialFailure(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	d := newTrackingDialer(srv)
+	var gate sync.Mutex
+	failing := 0
+	dial := func() (net.Conn, error) {
+		gate.Lock()
+		if failing > 0 {
+			failing--
+			gate.Unlock()
+			return nil, netsim.ErrDialFault
+		}
+		gate.Unlock()
+		return d.dial()
+	}
+	fs, err := NewSRBFS(SRBFSConfig{
+		Dial: dial, Streams: 2, StripeSize: 64 << 10, Retry: fastRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/flaky-redial", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Kill a stream AND make the next redial attempt fail transiently:
+	// recovery must push through both fault layers.
+	gate.Lock()
+	failing = 1
+	gate.Unlock()
+	d.conn(1).FaultAfter(32<<10, netsim.FaultClose)
+
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(13)).Read(payload)
+	n, err := f.WriteAt(payload, 0)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write across kill + flaky redial = %d, %v", n, err)
+	}
+	if st := f.(*srbFile).FaultStats(); st.Reconnects < 2 {
+		// One burned on the failed dial, one for the successful redial.
+		t.Fatalf("expected >= 2 reconnect attempts, got %+v", st)
+	}
+}
+
+func TestTerminalErrorNotRetried(t *testing.T) {
+	d, fs := faultFS(t, SRBFSConfig{Streams: 1, Retry: fastRetry()})
+	f, err := fs.Open("/terminal", adio.O_RDONLY|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Writing a read-only handle is a server status error — terminal, no
+	// reconnect may fire.
+	if _, err := f.WriteAt([]byte("nope"), 0); err == nil {
+		t.Fatal("write on read-only handle succeeded")
+	}
+	if st := f.(*srbFile).FaultStats(); st.Reconnects != 0 {
+		t.Fatalf("terminal error triggered reconnect: %+v", st)
+	}
+	if d.count() != 1 {
+		t.Fatalf("extra connections dialed: %d", d.count())
+	}
+}
+
+func TestCloseDuringReconnectStopsRecovery(t *testing.T) {
+	// An op that keeps failing must stop redialing once the handle is
+	// closed, even mid-retry-loop.
+	pol := fastRetry()
+	pol.BaseBackoff = 10 * time.Millisecond
+	d, fs := faultFS(t, SRBFSConfig{Streams: 1, Retry: pol})
+	f, err := fs.Open("/closing", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.conn(0).FaultAfter(0, netsim.FaultClose)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.WriteAt(make([]byte, 256<<10), 0)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("write on closed faulted handle succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write kept retrying after Close")
+	}
+}
+
+func TestReconnectDoesNotTruncate(t *testing.T) {
+	// A handle opened with O_TRUNC must NOT truncate again when a stream
+	// reconnects — that would wipe acknowledged data.
+	d, fs := faultFS(t, SRBFSConfig{Streams: 1, Retry: fastRetry()})
+	f, err := fs.Open("/keep", adio.O_RDWR|adio.O_CREATE|adio.O_TRUNC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	first := bytes.Repeat([]byte{0xAB}, 128<<10)
+	if _, err := f.WriteAt(first, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the only stream; the next op reconnects.
+	d.conn(0).FaultAfter(0, netsim.FaultClose)
+	second := bytes.Repeat([]byte{0xCD}, 64<<10)
+	if _, err := f.WriteAt(second, int64(len(first))); err != nil {
+		t.Fatalf("write after reconnect: %v", err)
+	}
+	got := make([]byte, len(first)+len(second))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(first)], first) {
+		t.Fatal("reconnect truncated previously acknowledged data")
+	}
+	if !bytes.Equal(got[len(first):], second) {
+		t.Fatal("post-reconnect write corrupted")
+	}
+}
+
+func TestRedundantReadSurvivesKilledStream(t *testing.T) {
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2, Retry: fastRetry()})
+	f, err := fs.Open("/redundant", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := bytes.Repeat([]byte("resilient"), 4<<10)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.conn(1).FaultAfter(0, netsim.FaultClose)
+	got := make([]byte, len(payload))
+	n, err := f.(*srbFile).ReadAtRedundant(got, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("redundant read = %d, corrupted=%v", n, !bytes.Equal(got, payload))
+	}
+}
+
+func TestEngineFailedThenRecoveredReportsTrueCount(t *testing.T) {
+	// The whole chain: a request submitted through the async engine whose
+	// first attempt dies mid-transfer must complete with the full byte
+	// count after reconnect+replay.
+	d, fs := faultFS(t, SRBFSConfig{Streams: 2, Retry: fastRetry()})
+	f, err := fs.Open("/async-armored", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d.conn(0).FaultAfter(16<<10, netsim.FaultClose)
+
+	eng := NewEngine(1)
+	defer eng.Close()
+	payload := make([]byte, 768<<10)
+	rand.New(rand.NewSource(17)).Read(payload)
+	req := eng.Submit(func() (int, error) { return f.WriteAt(payload, 0) })
+	n, err := req.Wait()
+	if err != nil {
+		t.Fatalf("async write across fault: %v", err)
+	}
+	if n != len(payload) {
+		t.Fatalf("async request reported %d bytes, want %d", n, len(payload))
+	}
+}
+
+func TestRetryableErrorKinds(t *testing.T) {
+	if srb.Retryable(errors.New("anything unknown")) != true {
+		t.Fatal("unknown errors must default to retryable")
+	}
+	if srb.Retryable(netsim.ErrReset) != true {
+		t.Fatal("connection reset must be retryable")
+	}
+}

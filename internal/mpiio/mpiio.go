@@ -103,6 +103,16 @@ func OpenLocal(reg *adio.Registry, path string, flags int, hints adio.Hints) (*F
 // Engine exposes the file's async engine (for instrumentation).
 func (f *File) Engine() *core.Engine { return f.eng }
 
+// FaultStats reports the driver's fault-recovery counters (reconnects,
+// replayed ops, remaining budget); ok is false when the underlying driver
+// does not track them.
+func (f *File) FaultStats() (stats core.FaultStats, ok bool) {
+	if fr, isFR := f.inner.(core.FaultReporter); isFR {
+		return fr.FaultStats(), true
+	}
+	return core.FaultStats{}, false
+}
+
 func (f *File) check() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -148,9 +158,7 @@ func (f *File) Read(p []byte) (int, error) {
 	n, err := f.readPhys(p, off)
 	f.counters.recordBlocking(start, true, n)
 	if n < len(p) {
-		f.mu.Lock()
-		f.fp = off + int64(n)
-		f.mu.Unlock()
+		f.rollbackFP(off, len(p), n)
 	}
 	return n, err
 }
@@ -163,12 +171,28 @@ func (f *File) Write(p []byte) (int, error) {
 		return 0, ErrClosed
 	}
 	off := f.fp
-	f.fp += int64(len(p))
+	f.fp += int64(len(p)) // optimistic; corrected below on short write
 	f.mu.Unlock()
 	start := time.Now()
 	n, err := f.writePhys(p, off)
 	f.counters.recordBlocking(start, false, n)
+	if n < len(p) {
+		f.rollbackFP(off, len(p), n)
+	}
 	return n, err
+}
+
+// rollbackFP corrects the optimistically-advanced file pointer after an
+// operation at offset off moved only n of want bytes. The correction only
+// applies while the pointer still sits where the operation left it — if a
+// subsequent call already advanced it further, that call's offset was
+// claimed and yanking the pointer back would corrupt its position.
+func (f *File) rollbackFP(off int64, want, n int) {
+	f.mu.Lock()
+	if f.fp == off+int64(want) {
+		f.fp = off + int64(n)
+	}
+	f.mu.Unlock()
 }
 
 // ReadAtRedundant issues the read on every TCP stream of the underlying
@@ -228,11 +252,14 @@ func (f *File) IRead(p []byte) *Request {
 		return failedRequest(ErrClosed)
 	}
 	off := f.fp
-	f.fp += int64(len(p))
+	f.fp += int64(len(p)) // optimistic; corrected on completion if short
 	f.mu.Unlock()
 	return f.eng.Submit(func() (int, error) {
 		n, err := f.readPhys(p, off)
 		f.counters.recordAsync(true, n)
+		if n < len(p) {
+			f.rollbackFP(off, len(p), n)
+		}
 		return n, err
 	})
 }
@@ -245,11 +272,14 @@ func (f *File) IWrite(p []byte) *Request {
 		return failedRequest(ErrClosed)
 	}
 	off := f.fp
-	f.fp += int64(len(p))
+	f.fp += int64(len(p)) // optimistic; corrected on completion if short
 	f.mu.Unlock()
 	return f.eng.Submit(func() (int, error) {
 		n, err := f.writePhys(p, off)
 		f.counters.recordAsync(false, n)
+		if n < len(p) {
+			f.rollbackFP(off, len(p), n)
+		}
 		return n, err
 	})
 }

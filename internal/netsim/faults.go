@@ -1,7 +1,10 @@
 package netsim
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 )
@@ -69,17 +72,64 @@ func (c *Conn) FaultAfter(n int, mode FaultMode) <-chan struct{} {
 	return c.faultFired
 }
 
+// ErrReset is the error surfaced by both endpoints of a killed connection,
+// modeling a TCP RST: in-flight data is discarded rather than drained.
+var ErrReset = errors.New("netsim: connection reset")
+
+// Kill severs the connection immediately in both directions. Unlike Close
+// (an orderly shutdown: the peer drains buffered data, then sees EOF),
+// Kill models a mid-transfer connection death — pending segments are
+// dropped and reads on BOTH endpoints fail at once with ErrReset. Safe to
+// call from any goroutine while transfers are in flight, which is exactly
+// how failure-injection tests use it.
+func (c *Conn) Kill() {
+	c.closeOnce.Do(func() {
+		c.peer.closeRead(ErrReset)
+		c.recv.closeRead(ErrReset)
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+}
+
+// ErrDialFault is the transient error injected by FlakyDialer.
+var ErrDialFault = errors.New("netsim: transient dial failure")
+
+// FlakyDialer wraps a dial function so that its first failures attempts
+// fail with ErrDialFault before it starts succeeding — a server that is
+// briefly unreachable (restart, route flap). It is safe for concurrent
+// use.
+func FlakyDialer(dial func() (net.Conn, error), failures int) func() (net.Conn, error) {
+	var mu sync.Mutex
+	remaining := failures
+	return func() (net.Conn, error) {
+		mu.Lock()
+		fail := remaining > 0
+		if fail {
+			remaining--
+		}
+		mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("%w (injected)", ErrDialFault)
+		}
+		return dial()
+	}
+}
+
 // consumeFaultBudget accounts outgoing bytes and triggers the fault when
-// the budget is exhausted. It reports whether the write may proceed.
-func (c *Conn) consumeFaultBudget(n int) bool {
+// the budget is exhausted. It reports whether the write may proceed and,
+// when it may not, whether the connection is black-holed (stalled) rather
+// than severed — returned explicitly so the caller never reads the fault
+// fields outside faultMu.
+func (c *Conn) consumeFaultBudget(n int) (proceed, stalled bool) {
 	c.faultMu.Lock()
 	if c.stalled {
 		c.faultMu.Unlock()
-		return false // black hole swallows everything from now on
+		return false, true // black hole swallows everything from now on
 	}
 	if !c.faultArmed {
 		c.faultMu.Unlock()
-		return true
+		return true, false
 	}
 	c.faultBudget -= n
 	fire := c.faultBudget < 0
@@ -95,11 +145,11 @@ func (c *Conn) consumeFaultBudget(n int) bool {
 	}
 	c.faultMu.Unlock()
 	if !fire {
-		return true
+		return true, false
 	}
 	close(fired)
 	if mode == FaultClose {
 		c.Close()
 	}
-	return false
+	return false, mode == FaultStall
 }

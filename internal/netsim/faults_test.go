@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"errors"
 	"io"
+	"net"
 	"testing"
 	"time"
 )
@@ -141,5 +143,75 @@ func TestNetworkJitterWiring(t *testing.T) {
 	p2 := prof.Scaled(10)
 	if p2.LatencyJitter != time.Millisecond {
 		t.Fatalf("jitter not scaled: %v", p2.LatencyJitter)
+	}
+}
+
+func TestKillResetsBothEndpoints(t *testing.T) {
+	a, b := Pipe(0, nil, nil)
+	// Data already in flight is discarded, not drained: that is the
+	// difference between Kill (reset) and Close (orderly EOF).
+	if _, err := a.Write(make([]byte, 4<<10)); err != nil {
+		t.Fatal(err)
+	}
+	a.Kill()
+
+	if _, err := b.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("peer read after Kill = %v, want ErrReset", err)
+	}
+	if _, err := a.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("local read after Kill = %v, want ErrReset", err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("peer write after Kill succeeded")
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("local write after Kill succeeded")
+	}
+}
+
+func TestKillUnblocksPendingRead(t *testing.T) {
+	a, b := Pipe(0, nil, nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader block
+	a.Kill()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrReset) {
+			t.Fatalf("blocked read woke with %v, want ErrReset", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Kill did not unblock a pending read")
+	}
+}
+
+func TestFlakyDialer(t *testing.T) {
+	dials := 0
+	dial := func() (net.Conn, error) {
+		dials++
+		a, _ := Pipe(0, nil, nil)
+		return a, nil
+	}
+	flaky := FlakyDialer(dial, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := flaky(); !errors.Is(err, ErrDialFault) {
+			t.Fatalf("attempt %d = %v, want ErrDialFault", i, err)
+		}
+	}
+	if dials != 0 {
+		t.Fatalf("inner dialer reached during injected failures (%d)", dials)
+	}
+	for i := 0; i < 3; i++ {
+		c, err := flaky()
+		if err != nil {
+			t.Fatalf("post-failure attempt %d: %v", i, err)
+		}
+		c.Close()
+	}
+	if dials != 3 {
+		t.Fatalf("inner dials = %d, want 3", dials)
 	}
 }

@@ -176,8 +176,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if wait := reserveAll(c.lims, n, time.Now()); wait > 0 {
 			time.Sleep(wait)
 		}
-		if !c.consumeFaultBudget(n) {
-			if c.faultMode == FaultStall {
+		proceed, stalled := c.consumeFaultBudget(n)
+		if !proceed {
+			if stalled {
 				// Black hole: pretend the write succeeded.
 				p = p[n:]
 				total += n

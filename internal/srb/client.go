@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Conn is a client connection to an SRB server. One request is outstanding
@@ -13,13 +15,16 @@ import (
 // parallelism by opening several connections, which is the lever the
 // paper's multi-stream optimization pulls.
 type Conn struct {
-	mu   sync.Mutex
-	c    net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	seq  uint32
-	err  error // sticky transport error
-	user string
+	mu      sync.Mutex
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	seq     uint32
+	err     error         // sticky transport error
+	timeout time.Duration // per-operation deadline (0 = none)
+	user    string
+
+	timedOut atomic.Bool // the op-deadline watchdog severed the conn
 }
 
 // NewConn performs the connect handshake over an established transport.
@@ -64,6 +69,27 @@ func (c *Conn) Close() error {
 	return c.c.Close()
 }
 
+// SetOpTimeout installs a per-operation deadline: any call that does not
+// complete within d fails with an error wrapping ErrTimeout and the
+// connection is severed (the only portable way to unblock a reader stuck
+// on a black-holed stream). Zero disables the deadline.
+func (c *Conn) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// transportErr wraps a wire-level failure so callers can classify it:
+// timeouts become ErrTimeout, everything else ErrTransport. The inner
+// error is folded into the message (not the chain) so a transport EOF is
+// never confused with a semantic end-of-file.
+func (c *Conn) transportErr(err error) error {
+	if c.timedOut.Load() {
+		return fmt.Errorf("%w after %v: %v", ErrTimeout, c.timeout, err)
+	}
+	return fmt.Errorf("%w: %v", ErrTransport, err)
+}
+
 // call sends one request and reads its response, serializing concurrent
 // callers. Returned errors distinguish transport failures (sticky) from
 // server status errors.
@@ -73,20 +99,29 @@ func (c *Conn) call(req *request) (*response, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
+	if c.timeout > 0 {
+		// Watchdog: a stalled server or black-holed path would block
+		// readResponse forever; severing the transport bounds the op.
+		timer := time.AfterFunc(c.timeout, func() {
+			c.timedOut.Store(true)
+			c.c.Close()
+		})
+		defer timer.Stop()
+	}
 	c.seq++
 	req.seq = c.seq
 	if err := writeRequest(c.bw, req); err != nil {
-		c.err = err
-		return nil, err
+		c.err = c.transportErr(err)
+		return nil, c.err
 	}
 	if err := c.bw.Flush(); err != nil {
-		c.err = err
-		return nil, err
+		c.err = c.transportErr(err)
+		return nil, c.err
 	}
 	resp, err := readResponse(c.br)
 	if err != nil {
-		c.err = err
-		return nil, err
+		c.err = c.transportErr(err)
+		return nil, c.err
 	}
 	if resp.seq != req.seq {
 		c.err = fmt.Errorf("%w: response seq %d for request %d", ErrProtocol, resp.seq, req.seq)
@@ -350,6 +385,11 @@ func (f *File) Write(p []byte) (int, error) {
 			return total, err
 		}
 		total += int(resp.value)
+		if int(resp.value) < n {
+			// A server acking fewer bytes than sent (e.g. a full
+			// device) must surface, not spin this loop forever.
+			return total, io.ErrShortWrite
+		}
 	}
 	return total, nil
 }

@@ -1,0 +1,163 @@
+package srb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// ErrTimeout marks an operation that exceeded its per-operation deadline.
+// The connection it fired on is dead (the watchdog severs it to unblock the
+// reader), so the error is retryable — on a fresh connection.
+var ErrTimeout = errors.New("srb: operation timed out")
+
+// ErrTransport wraps any failure of the wire itself — a broken TCP stream,
+// a connection reset, an unexpected EOF mid-response. Transport errors are
+// sticky on their connection and retryable on a new one, in contrast to
+// server status errors (ErrNotFound, ErrPerm, ...) which are terminal.
+var ErrTransport = errors.New("srb: transport failure")
+
+// RetryPolicy describes how the client reacts to transient failures:
+// how many times one logical operation may be attempted, how long to back
+// off between attempts (exponential with jitter, so reconnect storms from
+// many streams decorrelate), and the per-operation deadline.
+//
+// The zero value disables retries and deadlines — the historical
+// fail-fast behavior. Use DefaultRetryPolicy for production-style
+// settings.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries for one operation,
+	// including the first. Values below 2 mean "no retries".
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 5ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each backoff randomized, in [0, 1]:
+	// the sleep is drawn from backoff * [1-Jitter, 1+Jitter].
+	Jitter float64
+	// OpTimeout is the per-operation deadline on a connection; when it
+	// fires the connection is severed and the call fails with
+	// ErrTimeout. Zero means no deadline.
+	OpTimeout time.Duration
+}
+
+// DefaultRetryPolicy returns the recommended production policy: four
+// attempts, 10ms initial backoff doubling to a 2s cap with 20% jitter, and
+// a 30s per-operation deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+		OpTimeout:   30 * time.Second,
+	}
+}
+
+// Enabled reports whether the policy allows any retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Backoff returns the sleep before retry number retry (0-based), following
+// exponential growth with jitter.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := float64(base) * math.Pow(mult, float64(retry))
+	if d > float64(cap) {
+		d = float64(cap)
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 - j + 2*j*rand.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Retryable classifies an error from the client stack: true for transient
+// transport-level failures whose operation can safely be reissued on a
+// fresh connection (broken streams, timeouts, dial failures), false for
+// terminal errors where the server made a definitive statement (ENOENT,
+// EEXIST, permission, protocol violations) or where blind replay could
+// loop (persistent short writes).
+//
+// Unknown errors — raw net errors from a dialer, simulator failures —
+// default to retryable: the reconnect budget bounds the damage, and
+// misclassifying a transient fault as terminal loses a recoverable
+// request.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, terminal := range []error{
+		ErrNotFound, ErrExists, ErrIsDir, ErrNotDir, ErrBadHandle,
+		ErrInvalid, ErrNotEmpty, ErrPerm, ErrIO, ErrProtocol,
+	} {
+		if errors.Is(err, terminal) {
+			return false
+		}
+	}
+	// A semantic short read is a result, not a failure. Transport EOFs
+	// are wrapped in ErrTransport and never reach this comparison.
+	if errors.Is(err, io.EOF) {
+		return false
+	}
+	// The server acknowledged fewer bytes than sent without raising an
+	// error (e.g. a full device); replaying would likely loop.
+	if errors.Is(err, io.ErrShortWrite) {
+		return false
+	}
+	return true
+}
+
+// DialRetry dials and handshakes a connection, retrying transient failures
+// (unreachable server, broken handshake) under the policy. The returned
+// connection has the policy's per-operation deadline installed.
+func DialRetry(dial func() (net.Conn, error), user string, pol RetryPolicy) (*Conn, error) {
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(pol.Backoff(i - 1))
+		}
+		raw, err := dial()
+		if err == nil {
+			var conn *Conn
+			conn, err = NewConn(raw, user)
+			if err == nil {
+				conn.SetOpTimeout(pol.OpTimeout)
+				return conn, nil
+			}
+		}
+		if !Retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("srb: dial failed after %d attempts: %w", attempts, lastErr)
+	}
+	return nil, lastErr
+}

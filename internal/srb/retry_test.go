@@ -1,0 +1,269 @@
+package srb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"semplar/internal/netsim"
+	"semplar/internal/storage"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		// Terminal: the server made a definitive statement.
+		{ErrNotFound, false},
+		{ErrExists, false},
+		{ErrPerm, false},
+		{ErrInvalid, false},
+		{ErrBadHandle, false},
+		{ErrProtocol, false},
+		{ErrIO, false},
+		{fmt.Errorf("wrapped: %w", ErrNotFound), false},
+		// Semantic results, not transport failures.
+		{io.EOF, false},
+		{io.ErrShortWrite, false},
+		// Transient: transport, timeout, closed conn, unknown net errors.
+		{ErrTransport, true},
+		{ErrTimeout, true},
+		{ErrConnClosed, true},
+		{fmt.Errorf("%w: broken pipe", ErrTransport), true},
+		{netsim.ErrClosed, true},
+		{netsim.ErrDialFault, true},
+		{errors.New("connection reset by peer"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	pol := RetryPolicy{
+		MaxAttempts: 10,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+		Multiplier:  2,
+	}
+	// Without jitter the sequence is deterministic: 10, 20, 40, 80, 80.
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := pol.Backoff(i); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	// With jitter every sample stays inside backoff * [1-j, 1+j].
+	pol.Jitter = 0.5
+	for i := 0; i < 100; i++ {
+		got := pol.Backoff(1)
+		if got < 10*time.Millisecond || got > 30*time.Millisecond {
+			t.Fatalf("jittered Backoff(1) = %v outside [10ms, 30ms]", got)
+		}
+	}
+}
+
+func TestRetryPolicyEnabled(t *testing.T) {
+	if (RetryPolicy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if (RetryPolicy{MaxAttempts: 1}).Enabled() {
+		t.Fatal("single-attempt policy reports enabled")
+	}
+	if !DefaultRetryPolicy().Enabled() {
+		t.Fatal("default policy reports disabled")
+	}
+}
+
+// scriptedConn runs a minimal in-process server over one end of a pipe:
+// it answers the handshake and open itself and delegates every other
+// request to fn. fn returning nil stops the server cold — a stalled
+// (black-holed) backend.
+func scriptedConn(c net.Conn, fn func(req *request) *response) {
+	go func() {
+		defer c.Close()
+		br := bufio.NewReader(c)
+		bw := bufio.NewWriter(c)
+		for {
+			req, err := readRequest(br)
+			if err != nil {
+				return
+			}
+			var resp *response
+			switch req.op {
+			case opConnect:
+				resp = &response{value: protoVer}
+			case opOpen:
+				resp = &response{value: 7}
+			default:
+				resp = fn(req)
+			}
+			if resp == nil {
+				// Stall: swallow the request, never answer. Keep
+				// reading so the client's flush is not blocked.
+				continue
+			}
+			resp.seq = req.seq
+			if err := writeResponse(bw, resp); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func TestOpTimeoutOnStalledServer(t *testing.T) {
+	cEnd, sEnd := net.Pipe()
+	scriptedConn(sEnd, func(req *request) *response { return nil })
+	conn, err := NewConn(cEnd, "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetOpTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = conn.Ping()
+	if err == nil {
+		t.Fatal("ping against stalled server succeeded")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stalled op error = %v, want ErrTimeout", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("timeout not classified retryable")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The connection is dead; later calls fail fast with the sticky error.
+	if _, err := conn.Ping(); err == nil {
+		t.Fatal("call on timed-out connection succeeded")
+	}
+}
+
+func TestTransportErrorsWrapped(t *testing.T) {
+	_, conn := startPair(t)
+	// Sever the transport out from under the client, then call.
+	conn.c.Close()
+	_, err := conn.Ping()
+	if err == nil {
+		t.Fatal("ping over severed transport succeeded")
+	}
+	if !errors.Is(err, ErrTransport) && !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("severed transport error = %v, want ErrTransport", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("transport error %v not retryable", err)
+	}
+	// A transport EOF must NOT satisfy errors.Is(err, io.EOF): that
+	// identity is reserved for the semantic end-of-file result.
+	if errors.Is(err, io.EOF) {
+		t.Fatalf("transport error %v aliases io.EOF", err)
+	}
+}
+
+func TestWriteZeroByteAckSurfacesShortWrite(t *testing.T) {
+	cEnd, sEnd := net.Pipe()
+	scriptedConn(sEnd, func(req *request) *response {
+		if req.op == opWrite {
+			return &response{value: 0} // "success", zero bytes written
+		}
+		return &response{}
+	})
+	conn, err := NewConn(cEnd, "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f, err := conn.Open("/zero", O_RDWR|O_CREATE, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var n int
+	var werr error
+	go func() {
+		n, werr = f.Write([]byte("progressless"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Write looped forever on zero-byte ack")
+	}
+	if werr == nil || !errors.Is(werr, io.ErrShortWrite) {
+		t.Fatalf("Write = %d, %v; want io.ErrShortWrite", n, werr)
+	}
+}
+
+func TestDialRetrySurvivesTransientFailures(t *testing.T) {
+	srv := NewMemServer(storage.DeviceSpec{})
+	dial := func() (net.Conn, error) {
+		cEnd, sEnd := netsim.Pipe(0, nil, nil)
+		go srv.ServeConn(sEnd)
+		return cEnd, nil
+	}
+	pol := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+
+	conn, err := DialRetry(netsim.FlakyDialer(dial, 2), "tester", pol)
+	if err != nil {
+		t.Fatalf("dial with 2 transient failures: %v", err)
+	}
+	if _, err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// More failures than attempts: the last transient error surfaces.
+	_, err = DialRetry(netsim.FlakyDialer(dial, 10), "tester", pol)
+	if err == nil {
+		t.Fatal("dial with persistent failures succeeded")
+	}
+	if !errors.Is(err, netsim.ErrDialFault) {
+		t.Fatalf("dial error = %v, want ErrDialFault", err)
+	}
+}
+
+func TestConnCallVsCloseRace(t *testing.T) {
+	// Hammer call/Close concurrently; under -race this guards the
+	// connection's locking discipline. Errors are expected once Close
+	// lands — they just must be clean, never a hang or a panic.
+	for iter := 0; iter < 20; iter++ {
+		srv := NewMemServer(storage.DeviceSpec{})
+		conn := connectTo(t, srv)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if _, err := conn.Ping(); err != nil {
+						if !errors.Is(err, ErrConnClosed) && !Retryable(err) {
+							t.Errorf("ping error: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn.Close()
+		}()
+		wg.Wait()
+	}
+}

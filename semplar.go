@@ -45,6 +45,20 @@ type Request = core.Request
 // of every open file dials its own connection.
 type DialFunc = core.DialFunc
 
+// RetryPolicy configures per-operation deadlines and retry/backoff for
+// transient transport failures. The zero value fails fast (no retries,
+// no deadline); DefaultRetryPolicy returns production-style settings.
+type RetryPolicy = srb.RetryPolicy
+
+// DefaultRetryPolicy returns the recommended fault-tolerance settings:
+// four attempts per operation with exponential backoff and jitter, and a
+// 30s per-operation deadline.
+func DefaultRetryPolicy() RetryPolicy { return srb.DefaultRetryPolicy() }
+
+// FaultStats counts an open file's fault-recovery activity: stream
+// reconnects, replayed operations and the remaining reconnect budget.
+type FaultStats = core.FaultStats
+
 // Options tune a Client.
 type Options struct {
 	// User identifies the client to the server (default "semplar").
@@ -60,6 +74,16 @@ type Options struct {
 	// (default 1, the paper's configuration; use one per stream to let
 	// nonblocking calls drive the streams independently).
 	IOThreads int
+	// Retry enables fault tolerance on every stream: per-operation
+	// deadlines, retry with exponential backoff for transient transport
+	// failures, and transparent stream reconnection with replay of the
+	// failed explicit-offset operation. The zero value keeps the
+	// fail-fast behavior.
+	Retry RetryPolicy
+	// ReconnectBudget caps stream redials per open file handle
+	// (0 = a default of 8 when Retry is enabled; negative disables
+	// reconnection while keeping same-connection retries).
+	ReconnectBudget int
 }
 
 // Client is a handle to one SRB server.
@@ -87,11 +111,13 @@ func NewClient(dial DialFunc, opts Options) (*Client, error) {
 		opts.User = "semplar"
 	}
 	fs, err := core.NewSRBFS(core.SRBFSConfig{
-		Dial:       dial,
-		User:       opts.User,
-		Resource:   opts.Resource,
-		Streams:    opts.Streams,
-		StripeSize: opts.StripeSize,
+		Dial:            dial,
+		User:            opts.User,
+		Resource:        opts.Resource,
+		Streams:         opts.Streams,
+		StripeSize:      opts.StripeSize,
+		Retry:           opts.Retry,
+		ReconnectBudget: opts.ReconnectBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -136,13 +162,11 @@ func (c *Client) OpenWith(path string, flags int, oo OpenOptions) (*File, error)
 	return &File{File: f}, nil
 }
 
-// admin returns a short-lived control connection.
+// admin returns a short-lived control connection. It honors the client's
+// retry policy so metadata operations survive transient dial failures just
+// like the data streams do.
 func (c *Client) admin() (*srb.Conn, error) {
-	raw, err := c.dial()
-	if err != nil {
-		return nil, err
-	}
-	return srb.NewConn(raw, c.opts.User)
+	return srb.DialRetry(c.dial, c.opts.User, c.opts.Retry)
 }
 
 // Remove deletes a remote file.
@@ -158,6 +182,19 @@ func (c *Client) Mkdir(path string) error {
 	}
 	defer conn.Close()
 	return conn.Mkdir(path)
+}
+
+// Checksum asks the server to compute the SHA-256 of a remote file
+// without transferring its bytes, returning the hex digest and the object
+// size — the cheap way to verify content after a fault-recovered
+// transfer.
+func (c *Client) Checksum(path string) (string, int64, error) {
+	conn, err := c.admin()
+	if err != nil {
+		return "", 0, err
+	}
+	defer conn.Close()
+	return conn.Checksum(path)
 }
 
 // FileInfo describes a remote file or collection.
