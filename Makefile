@@ -1,14 +1,17 @@
 # Tier-1 verification in one command: `make check`.
 GO ?= go
 
-# Packages where the race detector runs fast and where concurrency is
-# hottest (async engine, striped streams, retry/reconnect, wire client,
-# fault injection).
-RACE_PKGS = ./internal/core ./internal/srb ./internal/mpiio ./internal/netsim
+# Every package runs under the race detector; -count=1 defeats test result
+# caching so races that depend on scheduling get a fresh chance to appear.
+RACE_PKGS = ./...
 
-.PHONY: check vet build test race bench
+# Seconds per fuzz target in the smoke pass (full sessions: `go test
+# -fuzz <name> ./internal/srb` with no time limit).
+FUZZTIME ?= 10s
 
-check: vet build test race
+.PHONY: check vet build test race lint fuzz-short bench
+
+check: vet build test race lint fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +24,18 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# semplarvet: the project's own analyzer suite (lockheld, guardedfield,
+# wireproto, errdrop, determinism). Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/semplarvet ./...
+
+# Short fuzz smoke over the wire-protocol parsers: seeds plus $(FUZZTIME)
+# of mutation per target.
+fuzz-short:
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadResponse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeFileInfo -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,147 @@
+// Command semplarvet runs SEMPLAR's project-specific static analyzers
+// over every package in the module and reports diagnostics with file:line
+// positions. It exits 1 when there are findings, 2 on load errors, so
+// `make lint` (and through it `make check`) gates the tree on the
+// concurrency and wire-protocol invariants the analyzers encode.
+//
+// Usage:
+//
+//	semplarvet [-rules lockheld,errdrop] [-list] [dir]
+//
+// With no directory argument the module containing the working directory
+// is analyzed. A "./..." argument is accepted (and means the same thing)
+// so the tool slots into vet-style Makefile targets. A directory argument
+// restricts the report to findings under that directory; a directory the
+// module walk excludes (testdata, vendor) is loaded as a standalone
+// stdlib-only package instead, which is how the analyzer corpus under
+// internal/analysis/testdata can be inspected by hand.
+//
+// Deliberate violations are suppressed in the source with
+// "//lint:allow <rule> -- reason"; see DESIGN.md section 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"semplar/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: semplarvet [-rules r1,r2] [-list] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	selected := all
+	if *rules != "" {
+		byName := map[string]analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name()] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "semplarvet: unknown rule %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	dir := "."
+	wholeModule := true
+	if args := flag.Args(); len(args) > 0 && args[0] != "./..." && args[0] != "..." {
+		dir = args[0]
+		wholeModule = false
+	}
+
+	var pkgs []*analysis.Package
+	if !wholeModule && walkExcluded(dir) {
+		// A testdata/vendor directory never appears in the module walk;
+		// load it standalone so the analyzer corpus can be inspected.
+		// Absolute so positions line up with the scope filter below.
+		if abs, err := filepath.Abs(dir); err == nil {
+			dir = abs
+		}
+		pkg, err := analysis.LoadDir(dir, filepath.ToSlash(dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semplarvet: %v\n", err)
+			os.Exit(2)
+		}
+		pkgs = []*analysis.Package{pkg}
+	} else {
+		root, err := analysis.FindModuleRoot(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semplarvet: %v\n", err)
+			os.Exit(2)
+		}
+		pkgs, err = analysis.LoadModule(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semplarvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	scope := ""
+	if !wholeModule {
+		if abs, err := filepath.Abs(dir); err == nil {
+			scope = abs + string(filepath.Separator)
+		}
+	}
+
+	cwd, _ := os.Getwd()
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, selected) {
+			if scope != "" && !strings.HasPrefix(d.Pos.Filename, scope) {
+				continue
+			}
+			findings++
+			name := d.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "semplarvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// walkExcluded reports whether the module walk would skip dir: any path
+// element named testdata or vendor, or starting with "." or "_".
+func walkExcluded(dir string) bool {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return false
+	}
+	for _, part := range strings.Split(filepath.ToSlash(abs), "/") {
+		if part == "testdata" || part == "vendor" ||
+			(part != "." && part != ".." && strings.HasPrefix(part, ".")) ||
+			strings.HasPrefix(part, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -82,6 +82,7 @@ func main() {
 		st := srv.Stats()
 		log.Printf("srbd: shutting down (served %d connections, %d requests)",
 			st.Connections, st.Requests)
+		//lint:allow errdrop -- process exits on the next line; the listener dies either way
 		l.Close()
 		os.Exit(0)
 	}()

@@ -54,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rawTime := time.Since(start)
-	f.Close()
+	mustClose(f)
 	fmt.Printf("raw synchronous write:      %7.3fs  (%6.2f Mb/s effective)\n",
 		rawTime.Seconds(), stats.MbPerSec(int64(len(src)), rawTime))
 
@@ -80,9 +80,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f2.Close()
+	mustClose(f2)
 	if !bytes.Equal(back, src) {
 		log.Fatal("decompressed read-back differs from the input")
 	}
 	fmt.Println("read-back verified: decompressed bytes identical to the input")
+}
+
+// mustClose closes f, failing the run on error — Close is where buffered
+// asynchronous writes are confirmed, so a dropped error hides data loss.
+func mustClose(f *semplar.File) {
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -59,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 	one := time.Since(start)
-	f.Close()
+	mustClose(f)
 	fmt.Printf("1 TCP stream:                   %7.3fs  (%6.2f Mb/s)\n",
 		one.Seconds(), stats.MbPerSec(int64(len(payload)), one))
 
@@ -82,8 +82,8 @@ func main() {
 		log.Fatal(err)
 	}
 	double := time.Since(start)
-	f1.Close()
-	f2.Close()
+	mustClose(f1)
+	mustClose(f2)
 	fmt.Printf("2 descriptors + async iwrites:  %7.3fs  (%6.2f Mb/s, %+.0f%%)\n",
 		double.Seconds(), stats.MbPerSec(int64(len(payload)), double),
 		(one.Seconds()/double.Seconds()-1)*100)
@@ -98,8 +98,16 @@ func main() {
 		log.Fatal(err)
 	}
 	striped := time.Since(start)
-	f3.Close()
+	mustClose(f3)
 	fmt.Printf("library-level 2-stream stripe:  %7.3fs  (%6.2f Mb/s, %+.0f%%)\n",
 		striped.Seconds(), stats.MbPerSec(int64(len(payload)), striped),
 		(one.Seconds()/striped.Seconds()-1)*100)
+}
+
+// mustClose closes f, failing the run on error — Close is where buffered
+// asynchronous writes are confirmed, so a dropped error hides data loss.
+func mustClose(f *semplar.File) {
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestCorpus runs each analyzer over its seeded-violation corpus in
+// testdata/<rule>/ and compares the diagnostics against the golden file.
+// Run with -update after deliberately changing a rule or its corpus.
+func TestCorpus(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name())
+			pkg, err := LoadDir(dir, "corpus/"+a.Name())
+			if err != nil {
+				t.Fatalf("loading corpus: %v", err)
+			}
+			var b strings.Builder
+			for _, d := range Run(pkg, []Analyzer{a}) {
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+			}
+			got := b.String()
+
+			golden := filepath.Join(dir, "golden.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/analysis -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s (re-run with -update after intentional changes)\n--- got ---\n%s--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusViolationsCovered guards the corpus itself: every line marked
+// "violation" must produce at least one diagnostic, so a silently weakened
+// rule cannot pass by emitting nothing.
+func TestCorpusViolationsCovered(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name())
+			pkg, err := LoadDir(dir, "corpus/"+a.Name())
+			if err != nil {
+				t.Fatalf("loading corpus: %v", err)
+			}
+			diags := Run(pkg, []Analyzer{a})
+			if len(diags) == 0 {
+				t.Fatalf("corpus produced no diagnostics at all")
+			}
+			hit := map[string]bool{}
+			for _, d := range diags {
+				hit[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+			}
+			for _, mark := range violationLines(t, dir) {
+				if !hit[mark] {
+					t.Errorf("corpus line %s is marked as a violation but produced no diagnostic", mark)
+				}
+			}
+		})
+	}
+}
+
+// violationLines scans the corpus sources for lines containing the word
+// "violation" in a comment and returns their file:line keys.
+func violationLines(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "// violation") || strings.Contains(line, "<- violation") {
+				out = append(out, fmt.Sprintf("%s:%d", e.Name(), i+1))
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no violation markers found in %s", dir)
+	}
+	return out
+}

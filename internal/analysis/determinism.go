@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// determinism keeps simulated-clock packages reproducible. It applies to
+// any package that contains a clock.go file (netsim is the one in this
+// repository): wall-clock reads and sleeps must funnel through the
+// helpers defined there, and randomness must come from an explicitly
+// seeded *rand.Rand, never the global math/rand source.
+//
+// Concretely, outside clock.go it flags calls to time.Now, time.Sleep,
+// time.Since, time.Until, time.After, time.AfterFunc, time.Tick,
+// time.NewTimer and time.NewTicker; everywhere in the package it flags
+// math/rand package-level draw functions (rand.Intn, rand.Int63n,
+// rand.Float64, rand.Perm, rand.Shuffle, rand.Seed, ...). Constructing a
+// seeded source — rand.New, rand.NewSource, rand.NewZipf — is the
+// sanctioned pattern and stays legal.
+type determinism struct{}
+
+func (determinism) Name() string { return "determinism" }
+func (determinism) Doc() string {
+	return "simulated-clock packages must use the clock.go helpers and seeded randomness, not time.Now/global math/rand"
+}
+
+var determinismTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Seeded-source constructors are allowed; every other math/rand
+// package-level function draws from shared global state.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func (determinism) Run(pkg *Package) []Diagnostic {
+	hasClock := false
+	for _, f := range pkg.Files {
+		if pkg.fileName(f.Pos()) == "clock.go" {
+			hasClock = true
+			break
+		}
+	}
+	if !hasClock {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		inClock := pkg.fileName(f.Pos()) == "clock.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isMethod := pkg.Info.Selections[sel]; isMethod {
+				return true // methods on *rand.Rand / time.Time values are fine
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if !inClock && determinismTimeFuncs[obj.Name()] {
+					diags = append(diags, pkg.diag(call.Pos(), "determinism",
+						"direct time.%s in a simulated-clock package; route it through clock.go", obj.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[obj.Name()] {
+					diags = append(diags, pkg.diag(call.Pos(), "determinism",
+						"global math/rand draw rand.%s breaks reproducibility; use a seeded *rand.Rand", obj.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

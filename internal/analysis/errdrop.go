@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// errdrop flags discarded error results of write-path calls — the calls
+// whose failure means acknowledged data was not actually committed. A
+// dropped write error on the SRB path silently corrupts a transfer, which
+// is precisely what the replay/idempotence machinery exists to prevent.
+//
+// Scope: the callee must return an error in last position, be named like a
+// write-path operation (Write*, write*, Flush, Sync, Truncate, Remove,
+// RemoveAll, Unlink, Close) and live in a wire/storage package — stdlib
+// io, net, bufio, os, or a module package named srb, storage, core, adio
+// or mpiio. Both bare call statements and all-blank assignments (_ = ...)
+// are findings. Deferred calls are exempt: defer f.Close() on a read path
+// is idiomatic, and write paths are expected to Close explicitly and check.
+type errdrop struct{}
+
+func (errdrop) Name() string { return "errdrop" }
+func (errdrop) Doc() string {
+	return "error results of write-path io/net/srb/storage calls must not be discarded"
+}
+
+var errdropStdlib = map[string]bool{
+	"io": true, "net": true, "bufio": true, "os": true,
+}
+
+var errdropModulePkgs = map[string]bool{
+	"srb": true, "storage": true, "core": true, "adio": true, "mpiio": true,
+}
+
+func errdropNameMatches(name string) bool {
+	if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "write") {
+		return true
+	}
+	switch name {
+	case "Flush", "Sync", "Truncate", "Remove", "RemoveAll", "Unlink", "Close":
+		return true
+	}
+	return false
+}
+
+func (errdrop) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	check := func(call *ast.CallExpr, form string) {
+		fn := pkg.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if !errdropNameMatches(fn.Name()) {
+			return
+		}
+		path := fn.Pkg().Path()
+		name := fn.Pkg().Name()
+		if !errdropStdlib[path] && !errdropModulePkgs[name] {
+			return
+		}
+		if !pkg.returnsError(call) {
+			return
+		}
+		diags = append(diags, pkg.diag(call.Pos(), "errdrop",
+			"%s of %s.%s on a write path; handle it or annotate a deliberate drop", form, name, fn.Name()))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred cleanup closes are idiomatic
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+					check(call, "discarded error")
+				}
+				return false
+			case *ast.AssignStmt:
+				allBlank := true
+				for _, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name != "_" {
+						allBlank = false
+						break
+					}
+				}
+				if allBlank && len(st.Rhs) == 1 {
+					if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+						check(call, "blank-assigned error")
+					}
+					return false
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return diags
+}

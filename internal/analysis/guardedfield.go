@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedfield enforces "// guarded by <mu>" field annotations: every
+// access to an annotated field must happen in a function that locks the
+// named mutex. This mechanically catches the PR-1 class of race (a fault
+// field read outside faultMu).
+//
+// Matching is deliberately coarse but predictable:
+//
+//   - An access is any selector expression resolving to the annotated
+//     field. Construction sites are exempt when the selector is rooted in
+//     a variable declared inside the same function (the value is not yet
+//     shared), which covers the NewX constructor idiom without naming
+//     heuristics.
+//   - A function "locks the mutex" if its own body (not nested literals)
+//     contains a call to <anything>.<mu>.Lock or RLock. Helpers that run
+//     with the lock held by their caller carry a //lint:allow guardedfield
+//     pragma stating that contract.
+//   - Function literals are scoped separately from their enclosing
+//     function: a closure handed to `go` or AfterFunc does not inherit the
+//     caller's critical section.
+type guardedfield struct{}
+
+func (guardedfield) Name() string { return "guardedfield" }
+func (guardedfield) Doc() string {
+	return `fields annotated "// guarded by <mu>" may only be accessed with that mutex locked`
+}
+
+var guardedRe = regexp.MustCompile(`guarded by\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField is one annotated struct field.
+type guardedField struct {
+	structName string
+	fieldName  string
+	mu         string
+}
+
+func (guardedfield) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+
+	// Pass 1: collect annotations, mapping the field's types.Var to its
+	// mutex name, and validate that the named mutex is a sibling field.
+	guarded := map[*types.Var]guardedField{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]ast.Expr{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = fld.Type
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := annotationOf(fld)
+				if mu == "" {
+					continue
+				}
+				muType, ok := fieldNames[mu]
+				if !ok {
+					diags = append(diags, pkg.diag(fld.Pos(), "guardedfield",
+						"field is marked guarded by %q but %s has no such field", mu, ts.Name.Name))
+					continue
+				}
+				if !isMutexType(pkg.Info.TypeOf(muType)) {
+					diags = append(diags, pkg.diag(fld.Pos(), "guardedfield",
+						"field is marked guarded by %q but %s.%s is not a sync.Mutex/RWMutex", mu, ts.Name.Name, mu))
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					guarded[obj] = guardedField{structName: ts.Name.Name, fieldName: name.Name, mu: mu}
+				}
+			}
+			return false
+		})
+	}
+	if len(guarded) == 0 {
+		return diags
+	}
+
+	// Pass 2: check every access, function scope by function scope.
+	for _, f := range pkg.Files {
+		funcScopes(f, func(sc *funcScope) {
+			locked := lockedMutexNames(sc.body)
+			ownNodes(sc.body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				fieldVar, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				g, isGuarded := guarded[fieldVar]
+				if !isGuarded {
+					return true
+				}
+				if locked[g.mu] {
+					return true
+				}
+				if localRoot(pkg, sc, sel.X) {
+					return true // value under construction, not shared yet
+				}
+				diags = append(diags, pkg.diag(sel.Sel.Pos(), "guardedfield",
+					"%s accesses %s.%s without locking %s (field is guarded by %s)",
+					sc.name, g.structName, g.fieldName, g.mu, g.mu))
+				return true
+			})
+		})
+	}
+	return diags
+}
+
+// annotationOf extracts the guarded-by mutex name from a field's doc or
+// trailing comment.
+func annotationOf(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return strings.TrimSpace(m[1])
+		}
+	}
+	return ""
+}
+
+// lockedMutexNames returns the set of mutex field names this function body
+// locks directly (h.mu.Lock() -> "mu"), excluding nested literals.
+func lockedMutexNames(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ownNodes(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			out[recv.Sel.Name] = true
+		case *ast.Ident:
+			out[recv.Name] = true
+		case *ast.UnaryExpr:
+			if inner, ok := ast.Unparen(recv.X).(*ast.SelectorExpr); ok {
+				out[inner.Sel.Name] = true
+			} else if id, ok := ast.Unparen(recv.X).(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// localRoot reports whether the access is rooted in a variable declared
+// inside this very function body — i.e. a value still being constructed.
+func localRoot(pkg *Package, sc *funcScope, base ast.Expr) bool {
+	id := rootIdent(base)
+	if id == nil {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	if obj.IsField() {
+		return false
+	}
+	// Declared strictly inside the body brackets: parameters and receivers
+	// sit in the signature, captured variables in an outer function.
+	return obj.Pos() > sc.body.Lbrace && obj.Pos() < sc.body.Rbrace
+}

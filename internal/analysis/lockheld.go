@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// exprKey renders a mutex receiver expression as its identity key.
+func exprKey(e ast.Expr) string { return types.ExprString(e) }
+
+// lockheld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held. Blocking means: channel send/receive, select
+// without a default, time.Sleep, a method named Wait (sync.Cond.Wait is
+// exempt — it releases the mutex), and Read/Write-family calls whose
+// receiver is an interface (io.Reader, net.Conn, ...) or a net/bufio type.
+//
+// The walk is intraprocedural and syntactic-sequential: a mutex is held
+// from <expr>.Lock() until <expr>.Unlock() in the same function; a
+// deferred unlock keeps it held until return. Branch bodies that end in
+// return/break/continue do not leak their lock-state changes past the
+// branch; fall-through branch states are unioned. Function literals are
+// analyzed as separate functions with an empty lock set, because their
+// bodies typically run on other goroutines (go, AfterFunc, callbacks).
+//
+// Deliberate serialization points (a connection mutex held across its own
+// request/response round trip) are annotated //lint:allow lockheld.
+type lockheld struct{}
+
+func (lockheld) Name() string { return "lockheld" }
+func (lockheld) Doc() string {
+	return "mutexes must not be held across blocking operations (channel ops, select, interface I/O, Sleep, Wait)"
+}
+
+// heldSet maps a mutex key (the printed receiver expression, e.g. "c.mu")
+// to the position of its Lock call.
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h heldSet) keys() []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (lockheld) Run(pkg *Package) []Diagnostic {
+	s := &lockScan{pkg: pkg}
+	for _, f := range pkg.Files {
+		funcScopes(f, func(sc *funcScope) {
+			s.fn = sc.name
+			s.stmts(sc.body.List, heldSet{})
+		})
+	}
+	return s.diags
+}
+
+type lockScan struct {
+	pkg   *Package
+	fn    string
+	diags []Diagnostic
+}
+
+// stmts walks a statement list sequentially, mutating held in place.
+func (s *lockScan) stmts(list []ast.Stmt, held heldSet) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+// terminates reports whether a statement list ends by leaving the
+// enclosing control flow (so its lock-state changes cannot reach the code
+// after the branch).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// branch processes a nested statement list on a copy of held and returns
+// the copy plus whether the list terminates.
+func (s *lockScan) branch(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	c := held.clone()
+	s.stmts(list, c)
+	return c, terminates(list)
+}
+
+// merge folds the fall-through branch outcomes back into held: a mutex is
+// considered held after the branch if any non-terminating path holds it.
+func merge(held heldSet, outcomes []heldSet) {
+	for k := range held {
+		delete(held, k)
+	}
+	for _, o := range outcomes {
+		for k, v := range o {
+			held[k] = v
+		}
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt, held heldSet) {
+	switch t := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if key, locking, ok := s.lockOp(t.X); ok {
+			if locking {
+				held[key] = t.Pos()
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		s.expr(t.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return, so the mutex stays held
+		// for everything that follows; a deferred anything-else runs
+		// outside this statement order. Either way there is nothing to
+		// track here beyond literals queued for their own scan (handled
+		// by funcScopes).
+	case *ast.SendStmt:
+		s.reportBlocked(t.Pos(), "channel send", held)
+		s.expr(t.Chan, held)
+		s.expr(t.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range t.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range t.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range t.Results {
+			s.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		s.expr(t.X, held)
+	case *ast.GoStmt:
+		// The spawned body runs concurrently (fresh scan via funcScopes);
+		// only the call's operands are evaluated here.
+		for _, a := range t.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(t.Stmt, held)
+	case *ast.BlockStmt:
+		s.stmts(t.List, held)
+	case *ast.IfStmt:
+		s.stmt(t.Init, held)
+		s.expr(t.Cond, held)
+		var outcomes []heldSet
+		thenHeld, thenTerm := s.branch(t.Body.List, held)
+		if !thenTerm {
+			outcomes = append(outcomes, thenHeld)
+		}
+		if t.Else != nil {
+			elseHeld, elseTerm := s.branch([]ast.Stmt{t.Else}, held)
+			if !elseTerm {
+				outcomes = append(outcomes, elseHeld)
+			}
+		} else {
+			outcomes = append(outcomes, held.clone())
+		}
+		if len(outcomes) > 0 {
+			merge(held, outcomes)
+		}
+	case *ast.ForStmt:
+		s.stmt(t.Init, held)
+		s.expr(t.Cond, held)
+		body, term := s.branch(t.Body.List, held)
+		s.stmt(t.Post, body.clone())
+		outcomes := []heldSet{held.clone()}
+		if !term {
+			outcomes = append(outcomes, body)
+		}
+		merge(held, outcomes)
+	case *ast.RangeStmt:
+		if isChanType(s.pkg, t.X) {
+			s.reportBlocked(t.Pos(), "range over channel", held)
+		}
+		s.expr(t.X, held)
+		body, term := s.branch(t.Body.List, held)
+		outcomes := []heldSet{held.clone()}
+		if !term {
+			outcomes = append(outcomes, body)
+		}
+		merge(held, outcomes)
+	case *ast.SwitchStmt:
+		s.stmt(t.Init, held)
+		s.expr(t.Tag, held)
+		s.caseBodies(t.Body, held, true)
+	case *ast.TypeSwitchStmt:
+		s.stmt(t.Init, held)
+		s.stmt(t.Assign, held)
+		s.caseBodies(t.Body, held, true)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.reportBlocked(t.Pos(), "select", held)
+		}
+		s.caseBodies(t.Body, held, hasDefault)
+	}
+}
+
+// caseBodies walks each clause of a switch/select body on its own copy of
+// held and merges the fall-through outcomes. withFallthrough adds the
+// pre-state as an outcome when no clause is guaranteed to run (no default
+// in a switch).
+func (s *lockScan) caseBodies(body *ast.BlockStmt, held heldSet, withPre bool) {
+	var outcomes []heldSet
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			// The comm op itself (send/recv in the case) is not a separate
+			// blocking point: select's readiness semantics cover it, and the
+			// select statement was already reported when it lacks a default.
+			list = cc.Body
+		default:
+			continue
+		}
+		out, term := s.branch(list, held)
+		if !term {
+			outcomes = append(outcomes, out)
+		}
+	}
+	if withPre {
+		outcomes = append(outcomes, held.clone())
+	}
+	if len(outcomes) > 0 {
+		merge(held, outcomes)
+	}
+}
+
+// expr scans an expression for blocking operations, without descending
+// into function literals.
+func (s *lockScan) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.reportBlocked(x.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if desc, ok := s.blockingCall(x); ok {
+				s.reportBlocked(x.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockScan) reportBlocked(pos token.Pos, what string, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	keys := held.keys()
+	lockPos := s.pkg.Fset.Position(held[keys[0]])
+	s.diags = append(s.diags, s.pkg.diag(pos, "lockheld",
+		"%s blocks on %s while holding %s (locked at %s:%d)",
+		s.fn, what, strings.Join(keys, ", "), filepath.Base(lockPos.Filename), lockPos.Line))
+}
+
+// lockOp recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a sync mutex and
+// returns the mutex key and whether it acquires.
+func (s *lockScan) lockOp(e ast.Expr) (key string, locking, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, false
+	}
+	if !isMutexType(s.pkg.Info.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	return exprKey(sel.X), locks, true
+}
+
+// blockingCall classifies a call as a blocking operation.
+func (s *lockScan) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := s.pkg.calleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	recv := s.pkg.recvTypeOf(call)
+	if recv == nil {
+		// Package-level function.
+		if pkgPath == "time" && name == "Sleep" {
+			return "time.Sleep", true
+		}
+		if pkgPath == "io" {
+			switch name {
+			case "Copy", "CopyN", "CopyBuffer", "ReadFull", "ReadAll", "ReadAtLeast", "WriteString":
+				return "io." + name, true
+			}
+		}
+		return "", false
+	}
+	// Method call.
+	if name == "Wait" {
+		if isNamed(recv, "sync", "Cond") {
+			return "", false // Cond.Wait releases the mutex while parked
+		}
+		return exprKey(callRecvExpr(call)) + ".Wait", true
+	}
+	switch name {
+	case "Read", "Write", "ReadAt", "WriteAt", "ReadFrom", "WriteTo", "Flush",
+		"ReadString", "ReadBytes", "ReadByte", "WriteByte", "WriteString",
+		"ReadRune", "WriteRune", "Peek":
+	default:
+		return "", false
+	}
+	d := deref(recv)
+	if _, isIface := d.Underlying().(*types.Interface); isIface {
+		return "interface " + name, true
+	}
+	if n := namedOf(recv); n != nil && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "net", "bufio":
+			return n.Obj().Pkg().Path() + " " + name, true
+		}
+	}
+	return "", false
+}
+
+func callRecvExpr(call *ast.CallExpr) ast.Expr {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel == nil {
+		return call.Fun
+	}
+	return sel.X
+}
+
+func isChanType(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,10 @@
+// Corpus for the determinism rule. The presence of this clock.go file is
+// what puts the package under the rule; wall-clock calls in here are the
+// sanctioned funnel and stay legal.
+package simtest
+
+import "time"
+
+func now() time.Time                  { return time.Now() }
+func sleep(d time.Duration)           { time.Sleep(d) }
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,32 @@
+package simtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func step() time.Duration {
+	start := time.Now()          // violation: direct time.Now outside clock.go
+	time.Sleep(time.Millisecond) // violation: direct time.Sleep
+	return time.Since(start)     // violation: direct time.Since
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // violation: global math/rand draw
+}
+
+func okFunnel() time.Duration {
+	start := now()
+	sleep(time.Millisecond)
+	return since(start) // ok: everything through the clock.go helpers
+}
+
+func okSeeded() int {
+	r := rand.New(rand.NewSource(1)) // ok: seeded-source constructors are allowed
+	return r.Intn(10)                // ok: method on *rand.Rand
+}
+
+func okAllowed() int64 {
+	//lint:allow determinism -- corpus demo of a justified exception
+	return time.Now().UnixNano() // ok: suppressed
+}

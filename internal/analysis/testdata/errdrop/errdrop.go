@@ -1,0 +1,50 @@
+// Corpus for the errdrop rule. The package is named storage so that calls
+// to its own functions count as module write-path calls.
+package storage
+
+import "os"
+
+// WriteBlock stands in for a write-path operation.
+func WriteBlock(p []byte) error { _ = p; return nil }
+
+// flushMeta is a lower-case write-path helper.
+func flushMeta() error { return nil }
+
+func bareCall() {
+	WriteBlock(nil) // violation: discarded error
+}
+
+func blankAssign() {
+	_ = WriteBlock(nil) // violation: blank-assigned error
+}
+
+func lowerCaseWritePath() {
+	flushMeta() // ok: "flushMeta" is not Write*/write*/Close/...
+}
+
+func stdlibRemove() {
+	os.Remove("scratch") // violation: os.Remove error discarded
+}
+
+func closeNotDeferred(f *os.File) {
+	f.Close() // violation: explicit Close on a write path must be checked
+}
+
+func okDeferredClose(f *os.File) {
+	defer f.Close() // ok: deferred cleanup close is idiomatic
+}
+
+func okHandled() error {
+	return WriteBlock(nil) // ok: error propagated
+}
+
+func okChecked() {
+	if err := WriteBlock(nil); err != nil {
+		panic(err)
+	}
+}
+
+func okAllowed() {
+	//lint:allow errdrop -- best-effort cleanup, demonstrated for the corpus
+	WriteBlock(nil) // ok: suppressed
+}

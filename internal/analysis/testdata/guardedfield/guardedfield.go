@@ -1,0 +1,55 @@
+// Corpus for the guardedfield rule: "// guarded by <mu>" annotations.
+package guardedtest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu
+}
+
+type brokenAnnotations struct {
+	mu   sync.Mutex
+	gone int // guarded by missing   <- violation: no such sibling field
+	data int // guarded by gone      <- violation: gone is not a mutex
+}
+
+func okLocked(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: c.mu locked in this body
+}
+
+func okRLockOnPointer(c *counter) {
+	(&c.mu).Lock()
+	c.m++ // ok: lock through an address-of is still a lock of mu
+	c.mu.Unlock()
+}
+
+func badUnlocked(c *counter) int {
+	return c.n // violation: no lock in this function
+}
+
+func badWrite(c *counter) {
+	c.m = 7 // violation: write without the lock
+}
+
+func okConstruction() *counter {
+	c := &counter{}
+	c.n = 1 // ok: c is local, not shared yet
+	return c
+}
+
+func badClosure(c *counter) {
+	c.mu.Lock()
+	go func() {
+		c.n++ // violation: the literal does not inherit the caller's lock
+	}()
+	c.mu.Unlock()
+}
+
+func okAllowedHelper(c *counter) int {
+	//lint:allow guardedfield -- contract: only called with c.mu held
+	return c.n // ok: suppressed by the pragma above
+}

@@ -1,0 +1,114 @@
+// Corpus for the lockheld rule: blocking operations under a held mutex.
+// Each "violation" comment marks a line the golden file expects a
+// diagnostic for; everything else must stay clean.
+package lockheldtest
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	c  net.Conn
+}
+
+func sendWhileLocked(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // violation: channel send under b.mu
+	b.mu.Unlock()
+}
+
+func recvWhileLocked(b *box) int {
+	b.mu.Lock()
+	v := <-b.ch // violation: channel receive under b.mu
+	b.mu.Unlock()
+	return v
+}
+
+func sleepUnderDeferredUnlock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // violation: deferred unlock keeps b.mu held
+}
+
+func connWriteWhileLocked(b *box, p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.c.Write(p) // violation: interface Write under b.mu
+}
+
+func selectWhileLocked(b *box) {
+	b.mu.Lock()
+	select { // violation: select without default under b.mu
+	case v := <-b.ch:
+		_ = v
+	case b.ch <- 0:
+	}
+	b.mu.Unlock()
+}
+
+func rangeChanWhileLocked(b *box) {
+	b.mu.Lock()
+	for v := range b.ch { // violation: range over channel under b.mu
+		_ = v
+	}
+	b.mu.Unlock()
+}
+
+func allowedFlush(b *box, bw *bufio.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow lockheld -- deliberate serialization point, like (*srb.Conn).call
+	return bw.Flush()
+}
+
+func okUnlockFirst(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1 // ok: released before the send
+}
+
+func okBothBranchesRelease(b *box) {
+	b.mu.Lock()
+	if cap(b.ch) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	<-b.ch // ok: every path released the mutex
+}
+
+func okSelectWithDefault(b *box) {
+	b.mu.Lock()
+	select { // ok: default makes it non-blocking
+	case b.ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func okCondWait(b *box, cond *sync.Cond) {
+	b.mu.Lock()
+	cond.Wait() // ok: Cond.Wait releases the mutex while parked
+	b.mu.Unlock()
+}
+
+func okGoroutineBody(b *box) {
+	b.mu.Lock()
+	go func() {
+		b.ch <- 1 // ok: the literal runs on another goroutine, lock set is empty
+	}()
+	b.mu.Unlock()
+}
+
+func okOtherMutex(b *box, other *sync.Mutex) {
+	other.Lock()
+	other.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1 // ok: nothing held here
+}

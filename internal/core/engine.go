@@ -81,13 +81,13 @@ type EngineStats struct {
 // first asynchronous call, as in SEMPLAR.
 type Engine struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*task
-	threads int // configured pool size
-	running int // spawned threads
-	idle    int // threads waiting on the condition variable
-	active  int // tasks executing right now
-	closed  bool
+	cond    *sync.Cond // signals queue/pool changes; immutable after NewEngine
+	queue   []*task    // guarded by mu
+	threads int        // configured pool size; immutable after NewEngine
+	running int        // guarded by mu; spawned threads
+	idle    int        // guarded by mu; threads waiting on the condition variable
+	active  int        // guarded by mu; tasks executing right now
+	closed  bool       // guarded by mu
 
 	submitted atomic.Int64
 	completed atomic.Int64

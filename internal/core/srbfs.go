@@ -138,6 +138,7 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 	for i := 0; i < streams; i++ {
 		conn, err := d.connect()
 		if err != nil {
+			//lint:allow errdrop -- unwinding a partially-opened stripe set; the dial error is returned
 			f.Close()
 			return nil, err
 		}
@@ -150,7 +151,9 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		}
 		file, err := conn.Open(path, sf, d.cfg.Resource)
 		if err != nil {
+			//lint:allow errdrop -- unwinding a partially-opened stripe set; the open error is returned
 			conn.Close()
+			//lint:allow errdrop -- ditto: the already-opened streams are being discarded
 			f.Close()
 			return nil, err
 		}
@@ -165,9 +168,9 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 // one redial between them.
 type stream struct {
 	mu   sync.Mutex
-	gen  int
-	conn *srb.Conn
-	file *srb.File
+	gen  int       // guarded by mu
+	conn *srb.Conn // guarded by mu
+	file *srb.File // guarded by mu
 }
 
 // handle snapshots the stream's current file handle and generation.
@@ -218,8 +221,8 @@ type srbFile struct {
 	streams     []*stream
 
 	mu     sync.Mutex
-	closed bool
-	budget int // remaining reconnects
+	closed bool // guarded by mu
+	budget int  // guarded by mu; remaining reconnects
 
 	reconnects atomic.Int64
 	retriedOps atomic.Int64
@@ -311,7 +314,8 @@ func (f *srbFile) recoverStream(s *stream, gen int) error {
 	f.reconnects.Add(1)
 
 	if s.conn != nil {
-		s.conn.Close() // tear down whatever is left of the dead stream
+		//lint:allow errdrop -- tearing down whatever is left of the dead stream
+		s.conn.Close()
 	}
 	s.conn, s.file = nil, nil
 
@@ -321,12 +325,14 @@ func (f *srbFile) recoverStream(s *stream, gen int) error {
 	}
 	conn, err := srb.NewConn(raw, f.fs.cfg.User)
 	if err != nil {
+		//lint:allow errdrop -- discarding the transport on a failed handshake; that error is returned
 		raw.Close()
 		return fmt.Errorf("core: reconnect handshake: %w", err)
 	}
 	conn.SetOpTimeout(f.fs.cfg.Retry.OpTimeout)
 	file, err := conn.Open(f.path, f.reopenFlags, f.fs.cfg.Resource)
 	if err != nil {
+		//lint:allow errdrop -- discarding the fresh connection when the reopen fails; that error is returned
 		conn.Close()
 		return fmt.Errorf("core: reopen %s: %w", f.path, err)
 	}

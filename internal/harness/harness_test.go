@@ -169,6 +169,12 @@ func TestFig9Quick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if raceEnabled {
+		// Race instrumentation slows the LZO compressor far more than the
+		// simulated network, so the pipeline loses its real-time edge; the
+		// sweep above still exercises the machinery for data races.
+		t.Skip("compression-gain margins not meaningful under -race")
+	}
 	for _, cr := range fig.Clusters {
 		if g := cr.Metrics["compression gain %"]; g < 15 {
 			t.Errorf("%s: compression gain %.1f%%, want > 15%%", cr.Cluster, g)

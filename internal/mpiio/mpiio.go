@@ -81,6 +81,7 @@ func Open(comm *mpi.Comm, reg *adio.Registry, path string, flags int, hints adio
 		}
 		if comm.AllreduceFloat64(ok, mpi.OpMin) == 0 {
 			if inner != nil {
+				//lint:allow errdrop -- collective abort: another rank failed, local open is discarded
 				inner.Close()
 			}
 			if err != nil {

@@ -1,0 +1,22 @@
+package netsim
+
+import "time"
+
+// The simulator models elapsed time with the host clock: limiters compute
+// how long a transfer would take and the pipes sleep it off. Every wall
+// clock read and every sleep in the package funnels through this file so
+// that (a) the determinism analyzer (semplarvet) can ban stray
+// time.Now/time.Sleep elsewhere in the package, and (b) a future virtual
+// clock only has to replace these two functions. Randomness is handled the
+// same way: all jitter draws come from per-connection seeded *rand.Rand
+// sources (see Jitter), never the global math/rand state.
+
+// now returns the simulator's current time.
+func now() time.Time { return time.Now() }
+
+// sleep pauses the calling goroutine for d; d <= 0 is a no-op.
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -18,7 +18,7 @@ type Jitter struct {
 	Seed   int64
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 }
 
 // NewJitter returns a jitter source with a deterministic seed.

@@ -26,8 +26,8 @@ import (
 // rate <= 0 imposes no delay.
 type Limiter struct {
 	mu   sync.Mutex
-	rate float64 // bytes per second
-	next time.Time
+	rate float64   // bytes per second; immutable after NewLimiter
+	next time.Time // guarded by mu
 }
 
 // NewLimiter returns a limiter that serializes traffic at bytesPerSec.
@@ -61,8 +61,8 @@ func (l *Limiter) Reserve(n int, now time.Time) time.Duration {
 
 // Wait reserves n bytes and sleeps until their transmission completes.
 func (l *Limiter) Wait(n int) {
-	if d := l.Reserve(n, time.Now()); d > 0 {
-		time.Sleep(d)
+	if d := l.Reserve(n, now()); d > 0 {
+		sleep(d)
 	}
 }
 
@@ -114,7 +114,7 @@ type Bus struct {
 	penalty float64
 
 	mu         sync.Mutex
-	lastActive [2]time.Time
+	lastActive [2]time.Time // guarded by mu
 }
 
 // NewBus returns a bus with the given capacity in bytes per second.
@@ -163,8 +163,8 @@ func (b *Bus) reserve(class, n int, now time.Time) time.Duration {
 // Transfer draws n bytes of the given class through the bus, sleeping as
 // needed.
 func (b *Bus) Transfer(class, n int) {
-	if d := b.reserve(class, n, time.Now()); d > 0 {
-		time.Sleep(d)
+	if d := b.reserve(class, n, now()); d > 0 {
+		sleep(d)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 )
 
 // Network instantiates a Profile for a cluster of nodes talking to one SRB
@@ -93,7 +92,7 @@ func (n *Network) Conns() int {
 func (n *Network) Dial(node int) (client, server net.Conn) {
 	node = n.clamp(node)
 	if rtt := n.prof.RTT(); rtt > 0 {
-		time.Sleep(rtt) // TCP handshake
+		sleep(rtt) // TCP handshake
 	}
 	stream := n.prof.StreamRate()
 	var upStream, downStream *Limiter
@@ -164,15 +163,15 @@ func (f *icFabric) Transfer(src, dst, nbytes int) {
 		return // intra-node move through shared memory
 	}
 	if lat := n.prof.ICLatency; lat > 0 {
-		time.Sleep(lat)
+		sleep(lat)
 	}
 	if nbytes <= 0 {
 		return
 	}
 	lims := compact(n.icByNode[src], n.icByNode[dst],
 		n.buses[src].Stage(BusClassMPI), n.buses[dst].Stage(BusClassMPI))
-	if wait := reserveAll(lims, nbytes, time.Now()); wait > 0 {
-		time.Sleep(wait)
+	if wait := reserveAll(lims, nbytes, now()); wait > 0 {
+		sleep(wait)
 	}
 }
 

@@ -31,11 +31,11 @@ type segment struct {
 // halfPipe is the receive queue of one direction of a Conn.
 type halfPipe struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
-	segs     []segment
-	buffered int   // bytes queued and not yet read
-	closed   bool  // write side closed: drain then EOF
-	rerr     error // read side closed: fail immediately
+	cond     *sync.Cond // signals segs/closed/rerr changes; immutable after newHalfPipe
+	segs     []segment  // guarded by mu
+	buffered int        // guarded by mu; bytes queued and not yet read
+	closed   bool       // guarded by mu; write side closed: drain then EOF
+	rerr     error      // guarded by mu; read side closed: fail immediately
 }
 
 func newHalfPipe() *halfPipe {
@@ -52,19 +52,19 @@ func (h *halfPipe) read(p []byte) (int, error) {
 			return 0, h.rerr
 		}
 		if len(h.segs) > 0 {
-			now := time.Now()
-			if head := h.segs[0]; head.at.After(now) {
+			arrived := now()
+			if head := h.segs[0]; head.at.After(arrived) {
 				// Head not yet "arrived": wait out the latency
 				// without holding the lock.
 				h.mu.Unlock()
-				time.Sleep(head.at.Sub(now))
+				sleep(head.at.Sub(arrived))
 				h.mu.Lock()
 				continue
 			}
 			// Drain every segment that has already arrived, so a
 			// large read pays at most one latency sleep.
 			n := 0
-			for n < len(p) && len(h.segs) > 0 && !h.segs[0].at.After(now) {
+			for n < len(p) && len(h.segs) > 0 && !h.segs[0].at.After(arrived) {
 				seg := h.segs[0]
 				c := copy(p[n:], seg.data)
 				n += c
@@ -132,11 +132,11 @@ type Conn struct {
 	jitter  *Jitter // optional extra delivery delay
 
 	faultMu     sync.Mutex
-	faultArmed  bool
-	faultBudget int
-	faultMode   FaultMode
-	faultFired  chan struct{}
-	stalled     bool
+	faultArmed  bool          // guarded by faultMu
+	faultBudget int           // guarded by faultMu
+	faultMode   FaultMode     // guarded by faultMu
+	faultFired  chan struct{} // guarded by faultMu
+	stalled     bool          // guarded by faultMu
 
 	closeOnce sync.Once
 	onClose   func()
@@ -173,8 +173,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if n > chunkSize {
 			n = chunkSize
 		}
-		if wait := reserveAll(c.lims, n, time.Now()); wait > 0 {
-			time.Sleep(wait)
+		if wait := reserveAll(c.lims, n, now()); wait > 0 {
+			sleep(wait)
 		}
 		proceed, stalled := c.consumeFaultBudget(n)
 		if !proceed {
@@ -188,7 +188,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		data := make([]byte, n)
 		copy(data, p[:n])
-		if !c.peer.push(data, time.Now().Add(c.latency+c.jitter.delay())) {
+		if !c.peer.push(data, now().Add(c.latency+c.jitter.delay())) {
 			return total, ErrClosed
 		}
 		p = p[n:]

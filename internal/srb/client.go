@@ -16,13 +16,13 @@ import (
 // paper's multi-stream optimization pulls.
 type Conn struct {
 	mu      sync.Mutex
-	c       net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	seq     uint32
-	err     error         // sticky transport error
-	timeout time.Duration // per-operation deadline (0 = none)
-	user    string
+	c       net.Conn      // immutable after NewConn
+	br      *bufio.Reader // guarded by mu
+	bw      *bufio.Writer // guarded by mu
+	seq     uint32        // guarded by mu
+	err     error         // guarded by mu; sticky transport error
+	timeout time.Duration // guarded by mu; per-operation deadline (0 = none)
+	user    string        // immutable after NewConn
 
 	timedOut atomic.Bool // the op-deadline watchdog severed the conn
 }
@@ -37,10 +37,12 @@ func NewConn(c net.Conn, user string) (*Conn, error) {
 	}
 	resp, err := conn.call(&request{op: opConnect, path: user})
 	if err != nil {
+		//lint:allow errdrop -- discarding the transport on a failed handshake; the handshake error is returned
 		c.Close()
 		return nil, err
 	}
 	if resp.value != protoVer {
+		//lint:allow errdrop -- discarding the transport on a version mismatch; ErrProtocol is returned
 		c.Close()
 		return nil, fmt.Errorf("%w: server protocol %d", ErrProtocol, resp.value)
 	}
@@ -85,6 +87,7 @@ func (c *Conn) SetOpTimeout(d time.Duration) {
 // never confused with a semantic end-of-file.
 func (c *Conn) transportErr(err error) error {
 	if c.timedOut.Load() {
+		//lint:allow guardedfield -- transportErr is only called from call, which holds c.mu
 		return fmt.Errorf("%w after %v: %v", ErrTimeout, c.timeout, err)
 	}
 	return fmt.Errorf("%w: %v", ErrTransport, err)
@@ -104,6 +107,7 @@ func (c *Conn) call(req *request) (*response, error) {
 		// readResponse forever; severing the transport bounds the op.
 		timer := time.AfterFunc(c.timeout, func() {
 			c.timedOut.Store(true)
+			//lint:allow errdrop -- watchdog severs a stalled transport; nothing can use the result
 			c.c.Close()
 		})
 		defer timer.Stop()
@@ -114,6 +118,7 @@ func (c *Conn) call(req *request) (*response, error) {
 		c.err = c.transportErr(err)
 		return nil, c.err
 	}
+	//lint:allow lockheld -- c.mu IS the wire-serialization point: one request/response at a time
 	if err := c.bw.Flush(); err != nil {
 		c.err = c.transportErr(err)
 		return nil, c.err

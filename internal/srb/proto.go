@@ -359,6 +359,11 @@ func decodeFileInfo(b []byte) (*FileInfo, []byte, error) {
 	if len(b) < 17 {
 		return nil, nil, ErrProtocol
 	}
+	if b[0] > 1 {
+		// The encoder only ever emits 0 or 1; anything else is framing
+		// damage, not a deliberate flag.
+		return nil, nil, ErrProtocol
+	}
 	fi := &FileInfo{IsDir: b[0] == 1}
 	fi.Size = int64(binary.BigEndian.Uint64(b[1:]))
 	fi.Modified = int64(binary.BigEndian.Uint64(b[9:]))

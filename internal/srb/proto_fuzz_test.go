@@ -1,0 +1,206 @@
+package srb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleRequestBytes encodes a representative request for seeding.
+func sampleRequestBytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := writeRequest(&buf, &request{
+		op:     opWrite,
+		seq:    7,
+		handle: 3,
+		flags:  O_RDWR | O_CREATE,
+		offset: 1 << 20,
+		length: 5,
+		path:   "/col/a.dat",
+		data:   []byte("hello"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sampleResponseBytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := writeResponse(&buf, &response{
+		seq:    7,
+		status: statusIO,
+		value:  42,
+		msg:    "disk on fire",
+		data:   []byte{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadRequest feeds arbitrary bytes to the server-side request parser.
+// It must never panic or over-allocate; any accepted request must satisfy
+// the protocol bounds and survive an encode/re-parse round trip untouched.
+func FuzzReadRequest(f *testing.F) {
+	valid := sampleRequestBytes(f)
+	f.Add(valid)
+	f.Add(valid[:reqHeaderSize-1]) // truncated header
+
+	badMagic := bytes.Clone(valid)
+	badMagic[0] = 0xFF
+	f.Add(badMagic)
+
+	badVersion := bytes.Clone(valid)
+	badVersion[2] = 9
+	f.Add(badVersion)
+
+	hugePath := bytes.Clone(valid)
+	binary.BigEndian.PutUint32(hugePath[32:], 1<<31)
+	f.Add(hugePath)
+
+	hugeData := bytes.Clone(valid)
+	binary.BigEndian.PutUint32(hugeData[36:], MaxChunk+1)
+	f.Add(hugeData)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(req.path) > 4096 {
+			t.Fatalf("accepted path of %d bytes, limit is 4096", len(req.path))
+		}
+		if len(req.data) > MaxChunk {
+			t.Fatalf("accepted payload of %d bytes, MaxChunk is %d", len(req.data), MaxChunk)
+		}
+		var buf bytes.Buffer
+		if err := writeRequest(&buf, req); err != nil {
+			t.Fatalf("re-encoding an accepted request failed: %v", err)
+		}
+		again, err := readRequest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing a re-encoded request failed: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("request round trip changed the value:\n first: %+v\nsecond: %+v", req, again)
+		}
+	})
+}
+
+// FuzzReadResponse is the client-side mirror of FuzzReadRequest.
+func FuzzReadResponse(f *testing.F) {
+	valid := sampleResponseBytes(f)
+	f.Add(valid)
+	f.Add(valid[:respHeaderSize-1]) // truncated header
+
+	badMagic := bytes.Clone(valid)
+	badMagic[0] = 0xFF
+	f.Add(badMagic)
+
+	hugeMsg := bytes.Clone(valid)
+	binary.BigEndian.PutUint32(hugeMsg[20:], 1<<31)
+	f.Add(hugeMsg)
+
+	hugeData := bytes.Clone(valid)
+	binary.BigEndian.PutUint32(hugeData[24:], MaxChunk+1)
+	f.Add(hugeData)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := readResponse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(resp.msg) > 4096 {
+			t.Fatalf("accepted message of %d bytes, limit is 4096", len(resp.msg))
+		}
+		if len(resp.data) > MaxChunk {
+			t.Fatalf("accepted payload of %d bytes, MaxChunk is %d", len(resp.data), MaxChunk)
+		}
+		var buf bytes.Buffer
+		if err := writeResponse(&buf, resp); err != nil {
+			t.Fatalf("re-encoding an accepted response failed: %v", err)
+		}
+		again, err := readResponse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing a re-encoded response failed: %v", err)
+		}
+		if !reflect.DeepEqual(resp, again) {
+			t.Fatalf("response round trip changed the value:\n first: %+v\nsecond: %+v", resp, again)
+		}
+	})
+}
+
+// FuzzDecodeFileInfo covers the variable-length stat payload: decoding
+// must never panic, and the accepted prefix must re-encode identically.
+func FuzzDecodeFileInfo(f *testing.F) {
+	f.Add(encodeFileInfo(&FileInfo{Path: "/a", IsDir: true, Size: 9, Modified: 123, Resource: "disk"}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fi, rest, err := decodeFileInfo(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		if got := encodeFileInfo(fi); !bytes.Equal(got, consumed) {
+			t.Fatalf("re-encoding decoded FileInfo %+v differs from the consumed input", fi)
+		}
+	})
+}
+
+// TestReadRequestMalformed pins the error classification for the seeded
+// malformed inputs: framing damage is ErrProtocol, truncation is an I/O
+// error — the server uses this split to decide logging vs disconnect.
+func TestReadRequestMalformed(t *testing.T) {
+	valid := sampleRequestBytes(t)
+
+	mutate := func(f func(b []byte)) []byte {
+		b := bytes.Clone(valid)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name    string
+		input   []byte
+		wantErr error
+		proto   bool
+	}{
+		{"truncated header", valid[:reqHeaderSize-1], io.ErrUnexpectedEOF, false},
+		{"empty", nil, io.EOF, false},
+		{"bad magic", mutate(func(b []byte) { b[0] = 0xFF }), ErrProtocol, true},
+		{"bad version", mutate(func(b []byte) { b[2] = 9 }), ErrProtocol, true},
+		{"oversized pathLen", mutate(func(b []byte) { binary.BigEndian.PutUint32(b[32:], 1<<31) }), ErrProtocol, true},
+		{"oversized dataLen", mutate(func(b []byte) { binary.BigEndian.PutUint32(b[36:], MaxChunk+1) }), ErrProtocol, true},
+		{"truncated body", valid[:len(valid)-1], io.ErrUnexpectedEOF, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readRequest(bytes.NewReader(tc.input))
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got error %v, want %v", err, tc.wantErr)
+			}
+			if tc.proto && !strings.Contains(err.Error(), "srb: protocol error") {
+				t.Fatalf("protocol damage should report ErrProtocol, got %v", err)
+			}
+		})
+	}
+
+	t.Run("valid", func(t *testing.T) {
+		req, err := readRequest(bytes.NewReader(valid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.op != opWrite || req.path != "/col/a.dat" || string(req.data) != "hello" {
+			t.Fatalf("parsed request mismatch: %+v", req)
+		}
+	})
+}

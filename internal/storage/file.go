@@ -80,6 +80,7 @@ func (fs *FileStore) Create(key string) (Object, error) {
 		return nil, err
 	}
 	if err := os.WriteFile(abs+".key", []byte(key), 0o644); err != nil {
+		//lint:allow errdrop -- cleanup on the WriteFile error path; that error is returned
 		f.Close()
 		return nil, err
 	}
@@ -115,6 +116,7 @@ func (fs *FileStore) Remove(key string) error {
 	}
 	delete(fs.keys, key)
 	abs := filepath.Join(fs.root, rel)
+	//lint:allow errdrop -- best-effort sidecar removal; the data file's Remove error is what matters
 	os.Remove(abs + ".key")
 	return os.Remove(abs)
 }
