@@ -19,11 +19,14 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-sibling) execution order so
+# inter-test state leaks surface instead of hiding behind file order; the
+# seed is printed on failure for reproduction with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -count=1 $(RACE_PKGS)
+	$(GO) test -race -count=1 -shuffle=on $(RACE_PKGS)
 
 # semplarvet: the project's own analyzer suite (lockheld, guardedfield,
 # wireproto, errdrop, determinism). Non-zero exit on any finding.

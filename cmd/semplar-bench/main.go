@@ -4,6 +4,12 @@
 // Usage:
 //
 //	semplar-bench [-fig 6|7|8|9|contention|all] [-scale N] [-quick] [-trials N]
+//	              [-trace out.json]
+//
+// With -trace, every request's lifecycle across the selected figures is
+// recorded and written as Chrome trace-event JSON — open the file in
+// about:tracing or https://ui.perfetto.dev to see queue time vs wire time
+// per request. A summary table is printed to stderr.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"strings"
 
 	"semplar/internal/harness"
+	"semplar/internal/trace"
 )
 
 func main() {
@@ -21,9 +28,13 @@ func main() {
 	quick := flag.Bool("quick", false, "small problem sizes and short sweeps")
 	trials := flag.Int("trials", 1, "timed trials per point (minimum kept)")
 	csvPath := flag.String("csv", "", "also append every series to this CSV file")
+	tracePath := flag.String("trace", "", "record request traces and write Chrome trace-event JSON here")
 	flag.Parse()
 
 	opt := harness.Options{Scale: *scale, Quick: *quick, Trials: *trials}
+	if *tracePath != "" {
+		opt.Trace = trace.New()
+	}
 	runners := map[string]func(harness.Options) (*harness.Figure, error){
 		"6":          harness.RunFig6,
 		"7":          harness.RunFig7,
@@ -70,5 +81,23 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if opt.Trace != nil {
+		out, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opt.Trace.WriteChrome(out); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, opt.Trace.Summary())
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in about:tracing or ui.perfetto.dev)\n", *tracePath)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
+	"semplar/internal/trace"
 )
 
 // Spec describes one testbed: the WAN profile of the client cluster and
@@ -69,6 +70,15 @@ func New(spec Spec, nodes int) *Testbed {
 		Net:    netsim.NewNetwork(spec.Profile, nodes),
 		Server: srb.NewMemServer(spec.Device),
 	}
+}
+
+// SetTracer wires tr into the testbed's fabric-level instrumentation:
+// the simulated network's connection gauge and transmit counters, and the
+// SRB server's dispatch spans. Client-side tracing rides in on the
+// SRBFSConfig.Tracer passed to Registry. Call before dialing.
+func (tb *Testbed) SetTracer(tr *trace.Tracer) {
+	tb.Net.SetTracer(tr)
+	tb.Server.SetTracer(tr)
 }
 
 // Dialer returns a core.DialFunc bound to one client node: every call

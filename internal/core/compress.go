@@ -41,6 +41,7 @@ func WriteCompressed(f adio.File, off int64, src []byte, blockSize int, eng *Eng
 	}
 	var stats CompressStats
 	var pending *Request
+	tr := eng.Tracer()
 	pos := off
 	for start := 0; start < len(src) || (start == 0 && len(src) == 0); start += blockSize {
 		if len(src) == 0 {
@@ -61,6 +62,8 @@ func WriteCompressed(f adio.File, off int64, src []byte, blockSize int, eng *Eng
 		stats.Blocks++
 		stats.InputBytes += int64(end - start)
 		stats.OutputBytes += int64(len(frame))
+		tr.Count("lzo.compress_in", int64(end-start))
+		tr.Count("lzo.compress_out", int64(len(frame)))
 		if eng != nil {
 			pending = eng.Submit(func() (int, error) {
 				return f.WriteAt(frame, writeAt)
@@ -88,6 +91,7 @@ func ReadCompressed(f adio.File, off int64, eng *Engine) ([]byte, error) {
 		return nil, err
 	}
 	var out []byte
+	tr := eng.Tracer()
 	pos := off
 
 	readFrame := func(at int64) ([]byte, error) {
@@ -144,6 +148,8 @@ func ReadCompressed(f adio.File, off int64, eng *Engine) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: compressed read at %d: %w", pos, err)
 		}
+		tr.Count("lzo.decompress_in", int64(len(frame)))
+		tr.Count("lzo.decompress_out", int64(len(orig)))
 		out = append(out, orig...)
 		pos = next
 	}

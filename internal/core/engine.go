@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"semplar/internal/trace"
 )
 
 // ErrEngineClosed is returned by Submit after Close.
@@ -92,11 +94,20 @@ type Engine struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	spawned   atomic.Int64
+
+	tracer *trace.Tracer // guarded by mu; nil = tracing off
 }
 
 type task struct {
 	fn  func() (int, error)
 	req *Request
+
+	// Tracing context, captured at Submit so the I/O thread never reads
+	// the engine's tracer field. id is the request's trace lane; queued
+	// spans submit → dispatch.
+	tr     *trace.Tracer
+	id     int64
+	queued trace.Span
 }
 
 // NewEngine returns an engine with the given I/O-thread pool size.
@@ -113,6 +124,35 @@ func NewEngine(threads int) *Engine {
 
 // Threads reports the configured pool size.
 func (e *Engine) Threads() int { return e.threads }
+
+// Names of the engine's trace metrics. The gauges plot over time in the
+// exported trace; the counters are monotonic totals.
+const (
+	GaugeQueueDepth = "engine.queue"     // requests enqueued, not yet dispatched
+	GaugeInflight   = "engine.inflight"  // requests executing right now
+	CountSubmitted  = "engine.submitted" // total Submit calls accepted
+	CountCompleted  = "engine.completed" // total requests completed
+)
+
+// SetTracer installs the request-lifecycle tracer. Call it before the
+// first Submit; a nil tracer (the default) records nothing and keeps the
+// submit path on its guarded fast path.
+func (e *Engine) SetTracer(tr *trace.Tracer) {
+	e.mu.Lock()
+	e.tracer = tr
+	e.mu.Unlock()
+}
+
+// Tracer returns the installed tracer (nil when tracing is off or the
+// engine itself is nil, as in synchronous compress paths).
+func (e *Engine) Tracer() *trace.Tracer {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() EngineStats {
@@ -133,7 +173,17 @@ func (e *Engine) Submit(fn func() (int, error)) *Request {
 		e.mu.Unlock()
 		return completedRequest(0, ErrEngineClosed)
 	}
-	e.queue = append(e.queue, &task{fn: fn, req: req})
+	t := &task{fn: fn, req: req}
+	if tr := e.tracer; tr.Enabled() {
+		// All submit-side events are recorded under e.mu, so their order in
+		// the trace matches queue order exactly.
+		t.tr = tr
+		t.id = tr.NextID()
+		t.queued = tr.Begin("engine", "queued", t.id)
+		tr.Gauge(GaugeQueueDepth, 1)
+		tr.Count(CountSubmitted, 1)
+	}
+	e.queue = append(e.queue, t)
 	// Lazily grow the pool: spawn another I/O thread only when all
 	// existing ones are busy and we are under the configured size.
 	if e.running < e.threads && e.idle == 0 {
@@ -168,6 +218,13 @@ func (e *Engine) ioThread() {
 		e.queue[0] = nil
 		e.queue = e.queue[1:]
 		e.active++
+		if t.tr.Enabled() {
+			// Dequeue events are recorded under e.mu for the same reason as
+			// submit events: dispatch order is trace order.
+			t.queued.End()
+			t.tr.Gauge(GaugeQueueDepth, -1)
+			t.tr.Gauge(GaugeInflight, 1)
+		}
 		e.mu.Unlock()
 
 		runTask(t)
@@ -183,14 +240,35 @@ func (e *Engine) ioThread() {
 // runTask executes one queued operation, converting a panic in the
 // operation into a failed request instead of killing the I/O thread (which
 // would strand the request's waiter forever and shrink the pool).
+//
+// Trace ordering: the run span ends and the gauges settle strictly before
+// req.complete, so a compute thread woken by Wait can never observe (or
+// record) events that precede this request's completion events.
 func runTask(t *task) {
+	sp := t.tr.Begin("engine", "run", t.id)
 	defer func() {
 		if r := recover(); r != nil {
+			finishTask(t, sp, 0, "panic")
 			t.req.complete(0, fmt.Errorf("core: async operation panicked: %v", r))
 		}
 	}()
 	n, err := t.fn()
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	finishTask(t, sp, n, status)
 	t.req.complete(n, err)
+}
+
+// finishTask records the completion events for one task.
+func finishTask(t *task, sp trace.Span, n int, status string) {
+	if !t.tr.Enabled() {
+		return
+	}
+	sp.End(trace.Int("n", int64(n)), trace.Str("status", status))
+	t.tr.Gauge(GaugeInflight, -1)
+	t.tr.Count(CountCompleted, 1)
 }
 
 // Drain blocks until every submitted operation has completed.

@@ -12,6 +12,7 @@ import (
 
 	"semplar/internal/adio"
 	"semplar/internal/srb"
+	"semplar/internal/trace"
 )
 
 // DefaultStripeSize is the striping unit across TCP streams. Each stripe
@@ -50,6 +51,10 @@ type SRBFSConfig struct {
 	// enabled Retry policy means DefaultReconnectBudget; negative
 	// disables reconnection while keeping same-connection retries.
 	ReconnectBudget int
+	// Tracer, when non-nil, records per-stream byte counters, wire-level
+	// operation spans and fault-recovery events for every handle this
+	// driver opens.
+	Tracer *trace.Tracer
 }
 
 // SRBFS is the high-performance ADIO implementation for the SRB filesystem
@@ -103,6 +108,7 @@ func (d *SRBFS) connect() (*srb.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: dial SRB server: %w", err)
 	}
+	conn.SetTracer(d.cfg.Tracer)
 	return conn, nil
 }
 
@@ -134,6 +140,7 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		// exists and holds acknowledged data by the time a stream dies.
 		reopenFlags: flags &^ (adio.O_TRUNC | adio.O_EXCL),
 		budget:      d.cfg.ReconnectBudget,
+		tracer:      d.cfg.Tracer,
 	}
 	for i := 0; i < streams; i++ {
 		conn, err := d.connect()
@@ -157,7 +164,12 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 			f.Close()
 			return nil, err
 		}
-		f.streams = append(f.streams, &stream{conn: conn, file: file})
+		f.streams = append(f.streams, &stream{
+			conn:     conn,
+			file:     file,
+			readCtr:  fmt.Sprintf("srbfs.stream%d.read_bytes", i),
+			writeCtr: fmt.Sprintf("srbfs.stream%d.write_bytes", i),
+		})
 	}
 	return f, nil
 }
@@ -171,6 +183,12 @@ type stream struct {
 	gen  int       // guarded by mu
 	conn *srb.Conn // guarded by mu
 	file *srb.File // guarded by mu
+
+	// Trace counter names for this stream's traffic; immutable after Open.
+	// They are silent counters (aggregate only), so concurrent stripes on
+	// different streams never perturb trace event order.
+	readCtr  string
+	writeCtr string
 }
 
 // handle snapshots the stream's current file handle and generation.
@@ -226,6 +244,8 @@ type srbFile struct {
 
 	reconnects atomic.Int64
 	retriedOps atomic.Int64
+
+	tracer *trace.Tracer // immutable after Open; nil = tracing off
 }
 
 var _ adio.File = (*srbFile)(nil)
@@ -267,6 +287,12 @@ func (f *srbFile) doOp(s *stream, write bool, buf []byte, off int64) (int, error
 		if err == nil || (!write && errors.Is(err, io.EOF)) {
 			if attempt > 0 {
 				f.retriedOps.Add(1)
+				f.tracer.Count("srbfs.retried_ops", 1)
+			}
+			if write {
+				f.tracer.Count(s.writeCtr, int64(n))
+			} else {
+				f.tracer.Count(s.readCtr, int64(n))
 			}
 			return n, err
 		}
@@ -312,6 +338,11 @@ func (f *srbFile) recoverStream(s *stream, gen int) error {
 	f.budget--
 	f.mu.Unlock()
 	f.reconnects.Add(1)
+	if f.tracer.Enabled() {
+		f.tracer.Count("srbfs.reconnects", 1)
+		f.tracer.Instant("fault", "reconnect", 0,
+			trace.Str("path", f.path), trace.Int("gen", int64(gen)))
+	}
 
 	if s.conn != nil {
 		//lint:allow errdrop -- tearing down whatever is left of the dead stream
@@ -330,6 +361,7 @@ func (f *srbFile) recoverStream(s *stream, gen int) error {
 		return fmt.Errorf("core: reconnect handshake: %w", err)
 	}
 	conn.SetOpTimeout(f.fs.cfg.Retry.OpTimeout)
+	conn.SetTracer(f.tracer)
 	file, err := conn.Open(f.path, f.reopenFlags, f.fs.cfg.Resource)
 	if err != nil {
 		//lint:allow errdrop -- discarding the fresh connection when the reopen fails; that error is returned

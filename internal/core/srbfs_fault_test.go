@@ -31,9 +31,10 @@ func fastRetry() srb.RetryPolicy {
 // trackingDialer dials fresh pipes against srv and records every client
 // endpoint so tests can inject faults on specific connections.
 type trackingDialer struct {
-	mu    sync.Mutex
-	srv   *srb.Server
-	conns []*netsim.Conn
+	mu       sync.Mutex
+	srv      *srb.Server
+	conns    []*netsim.Conn
+	faultNew func(*netsim.Conn) // guarded by mu; applied to each new conn before use
 }
 
 func newTrackingDialer(srv *srb.Server) *trackingDialer {
@@ -45,8 +46,22 @@ func (d *trackingDialer) dial() (net.Conn, error) {
 	go d.srv.ServeConn(sEnd)
 	d.mu.Lock()
 	d.conns = append(d.conns, cEnd)
+	fault := d.faultNew
 	d.mu.Unlock()
+	if fault != nil {
+		fault(cEnd)
+	}
 	return cEnd, nil
+}
+
+// faultFuture installs a fault applied to every subsequently dialed
+// connection before the client sees it — unlike faulting d.conns in a
+// loop, replacements dialed during recovery can never slip through a
+// fault-free window.
+func (d *trackingDialer) faultFuture(f func(*netsim.Conn)) {
+	d.mu.Lock()
+	d.faultNew = f
+	d.mu.Unlock()
 }
 
 func (d *trackingDialer) conn(i int) *netsim.Conn {
@@ -201,28 +216,19 @@ func TestReconnectBudgetExhausted(t *testing.T) {
 	}
 	defer f.Close()
 
-	// Every connection — current and future — dies almost immediately,
-	// so each reconnect buys one more failure until the budget runs out.
-	killAll := func() {
-		d.mu.Lock()
-		for _, c := range d.conns {
-			c.FaultAfter(100, netsim.FaultClose)
-		}
-		d.mu.Unlock()
+	// Every connection — current and future — dies almost immediately, so
+	// each reconnect buys one more failure until the budget runs out. The
+	// dial-time hook is what makes this deterministic: a replacement
+	// connection is faulted before the client can push a single byte, so
+	// the write can never complete no matter how the scheduler interleaves
+	// recovery with fault injection.
+	kill := func(c *netsim.Conn) { c.FaultAfter(100, netsim.FaultClose) }
+	d.faultFuture(kill)
+	d.mu.Lock()
+	for _, c := range d.conns {
+		kill(c)
 	}
-	killAll()
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		for {
-			select {
-			case <-stop:
-				return
-			case <-time.After(time.Millisecond):
-				killAll()
-			}
-		}
-	}()
+	d.mu.Unlock()
 
 	_, err = f.WriteAt(make([]byte, 1<<20), 0)
 	if err == nil {

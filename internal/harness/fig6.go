@@ -69,6 +69,7 @@ func RunFig6(opt Options) (*Figure, error) {
 					DB: db, Index: index, Queries: queries,
 					ReportSize: p.reportSize, ComputePad: pad,
 					Mode: mode, PathPrefix: "srb:/blast-",
+					Tracer: opt.Trace,
 				}, opt.Trials)
 				if err != nil {
 					return nil, fmt.Errorf("fig6 %s np=%d %v: %w", spec.Name, np, mode, err)
@@ -107,9 +108,10 @@ func runBlastOnce(spec cluster.Spec, np int, cfg blast.Config, trials int) (blas
 	var out blast.Result
 	_, err := minTimed(trials, func() (time.Duration, error) {
 		tb := cluster.New(spec, np)
+		tb.SetTracer(cfg.Tracer)
 		var res blast.Result
 		err := mpi.RunOn(np, tb.Fabric(), func(c *mpi.Comm) error {
-			reg := tb.Registry(c.Rank(), core.SRBFSConfig{})
+			reg := tb.Registry(c.Rank(), core.SRBFSConfig{Tracer: cfg.Tracer})
 			r, err := blast.Run(c, reg, cfg)
 			if c.Rank() == 0 {
 				res = r

@@ -18,6 +18,7 @@ import (
 	"semplar/internal/core"
 	"semplar/internal/mpiio"
 	"semplar/internal/stats"
+	"semplar/internal/trace"
 )
 
 // Options control the sweep sizes. The zero value gives the default
@@ -32,6 +33,11 @@ type Options struct {
 	Quick bool
 	// Trials repeats each timed point; the minimum is kept (default 1).
 	Trials int
+	// Trace, when non-nil, records request lifecycles across the figure's
+	// runs (engine queue, wire ops, server dispatch); export it afterwards
+	// with WriteChrome or Summary. Tracing adds a little overhead per
+	// request, so leave it nil for timing-sensitive comparisons.
+	Trace *trace.Tracer
 }
 
 func (o Options) withDefaults(defProcs []int) Options {

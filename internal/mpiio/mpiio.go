@@ -20,6 +20,7 @@ import (
 	"semplar/internal/adio"
 	"semplar/internal/core"
 	"semplar/internal/mpi"
+	"semplar/internal/trace"
 )
 
 // Request is the nonblocking-operation handle (MPIO_Request).
@@ -47,6 +48,20 @@ type File struct {
 	// block; all ranks advance it identically by issuing collectives in
 	// the same order.
 	collSeq int
+
+	// Tracing hookup; set once via SetTracer before I/O begins.
+	tracer *trace.Tracer
+	lane   int64 // this file's trace lane for blocking-call spans
+}
+
+// SetTracer attributes this file's activity to tr: blocking calls get
+// "mpiio" spans on the file's own trace lane, and the async engine records
+// the full request lifecycle (queued/run spans, queue-depth and in-flight
+// gauges). Call it right after Open, before issuing I/O.
+func (f *File) SetTracer(tr *trace.Tracer) {
+	f.tracer = tr
+	f.lane = tr.NextID()
+	f.eng.SetTracer(tr)
 }
 
 // nextCollTag reserves a tag block for one collective call.
@@ -129,7 +144,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	start := time.Now()
+	sp := f.tracer.Begin("mpiio", "read_at", f.lane)
 	n, err := f.readPhys(p, off)
+	sp.End(trace.Int("n", int64(n)))
 	f.counters.recordBlocking(start, true, n)
 	return n, err
 }
@@ -140,7 +157,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	start := time.Now()
+	sp := f.tracer.Begin("mpiio", "write_at", f.lane)
 	n, err := f.writePhys(p, off)
+	sp.End(trace.Int("n", int64(n)))
 	f.counters.recordBlocking(start, false, n)
 	return n, err
 }

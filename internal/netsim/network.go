@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"semplar/internal/trace"
 )
 
 // Network instantiates a Profile for a cluster of nodes talking to one SRB
@@ -24,8 +26,18 @@ type Network struct {
 	icByNode []*Limiter // MPI interconnect injection per node
 
 	mu        sync.Mutex
-	conns     int
-	jitterSeq int64
+	conns     int   // guarded by mu
+	jitterSeq int64 // guarded by mu
+
+	tracer *trace.Tracer // guarded by mu; nil = tracing off
+}
+
+// SetTracer makes the network record an open-connection gauge and
+// per-direction transmit byte counters for connections dialed afterwards.
+func (n *Network) SetTracer(tr *trace.Tracer) {
+	n.mu.Lock()
+	n.tracer = tr
+	n.mu.Unlock()
 }
 
 // NewNetwork builds the shared fabric for a cluster of the given size.
@@ -107,6 +119,7 @@ func (n *Network) Dial(node int) (client, server net.Conn) {
 	c.name = fmt.Sprintf("%s/node%d", n.prof.Name, node)
 	n.mu.Lock()
 	n.conns++
+	tr := n.tracer
 	if n.prof.LatencyJitter > 0 {
 		// Independent per-direction jitter sources with deterministic
 		// per-connection seeds.
@@ -115,10 +128,19 @@ func (n *Network) Dial(node int) (client, server net.Conn) {
 		s.WithJitter(NewJitter(n.prof.LatencyJitter, n.jitterSeq+1<<32))
 	}
 	n.mu.Unlock()
+	if tr.Enabled() {
+		tr.Gauge("netsim.conns", 1)
+		// Transmit counters are silent (aggregate only): Write runs on
+		// whatever goroutine owns the stream, so an event here would make
+		// trace order racy.
+		c.tr, c.txCtr = tr, "netsim.client_tx_bytes"
+		s.tr, s.txCtr = tr, "netsim.server_tx_bytes"
+	}
 	c.OnClose(func() {
 		n.mu.Lock()
 		n.conns--
 		n.mu.Unlock()
+		tr.Gauge("netsim.conns", -1)
 	})
 	return c, s
 }

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"semplar/internal/trace"
 )
 
 // ErrClosed is returned for operations on a closed shaped connection.
@@ -140,6 +142,10 @@ type Conn struct {
 
 	closeOnce sync.Once
 	onClose   func()
+
+	// Trace hookup, set by Network.Dial before the conn is handed out.
+	tr    *trace.Tracer
+	txCtr string // silent counter name for bytes sent from this endpoint
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -191,6 +197,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if !c.peer.push(data, now().Add(c.latency+c.jitter.delay())) {
 			return total, ErrClosed
 		}
+		c.tr.Count(c.txCtr, int64(n))
 		p = p[n:]
 		total += n
 	}

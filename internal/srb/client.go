@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"semplar/internal/trace"
 )
 
 // Conn is a client connection to an SRB server. One request is outstanding
@@ -25,6 +27,9 @@ type Conn struct {
 	user    string        // immutable after NewConn
 
 	timedOut atomic.Bool // the op-deadline watchdog severed the conn
+
+	tr   *trace.Tracer // guarded by mu; nil = tracing off
+	lane int64         // guarded by mu; this connection's trace lane
 }
 
 // NewConn performs the connect handshake over an established transport.
@@ -71,6 +76,17 @@ func (c *Conn) Close() error {
 	return c.c.Close()
 }
 
+// SetTracer attributes this connection's wire traffic to tr: every
+// request/response round trip becomes a "wire" span on the connection's
+// own trace lane and feeds the srb.client.op latency histogram. A nil
+// tracer (the default) disables tracing for the connection.
+func (c *Conn) SetTracer(tr *trace.Tracer) {
+	c.mu.Lock()
+	c.tr = tr
+	c.lane = tr.NextID()
+	c.mu.Unlock()
+}
+
 // SetOpTimeout installs a per-operation deadline: any call that does not
 // complete within d fails with an error wrapping ErrTimeout and the
 // connection is severed (the only portable way to unblock a reader stuck
@@ -101,6 +117,16 @@ func (c *Conn) call(req *request) (*response, error) {
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return nil, c.err
+	}
+	if tr := c.tr; tr.Enabled() {
+		// The span covers send + server turnaround + receive — the full
+		// wire cost of the synchronous call. It ends in a defer registered
+		// after the mu.Unlock defer, so the event is still recorded under
+		// c.mu and trace order matches call order on this connection.
+		sp := tr.Begin("wire", opName(req.op), c.lane)
+		defer func() {
+			tr.Observe("srb.client.op", sp.End())
+		}()
 	}
 	if c.timeout > 0 {
 		// Watchdog: a stalled server or black-holed path would block

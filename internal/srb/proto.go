@@ -54,6 +54,56 @@ const (
 	opChecksum
 )
 
+// opName renders an opcode for traces and diagnostics.
+func opName(op uint8) string {
+	switch op {
+	case opConnect:
+		return "connect"
+	case opPing:
+		return "ping"
+	case opOpen:
+		return "open"
+	case opClose:
+		return "close"
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opSeek:
+		return "seek"
+	case opStat:
+		return "stat"
+	case opFstat:
+		return "fstat"
+	case opTruncate:
+		return "truncate"
+	case opSync:
+		return "sync"
+	case opMkdir:
+		return "mkdir"
+	case opRmdir:
+		return "rmdir"
+	case opUnlink:
+		return "unlink"
+	case opList:
+		return "list"
+	case opSetAttr:
+		return "setattr"
+	case opGetAttr:
+		return "getattr"
+	case opResources:
+		return "resources"
+	case opRename:
+		return "rename"
+	case opReplicate:
+		return "replicate"
+	case opChecksum:
+		return "checksum"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
 // Open flags (SRBFS-level, independent of the host OS).
 const (
 	O_RDONLY = 0x0

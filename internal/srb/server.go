@@ -14,6 +14,7 @@ import (
 
 	"semplar/internal/mcat"
 	"semplar/internal/storage"
+	"semplar/internal/trace"
 )
 
 // ServerStats counts server activity; all fields are read with Snapshot.
@@ -38,6 +39,16 @@ type Server struct {
 	handleSeq int64
 
 	stats ServerStats
+
+	tracer atomic.Pointer[trace.Tracer]
+}
+
+// SetTracer records every dispatched request as a span on the server
+// process row of tr (one trace lane per connection) and feeds the
+// srb.server.dispatch latency histogram. Safe to call at any time; nil
+// disables tracing for connections accepted afterwards.
+func (s *Server) SetTracer(tr *trace.Tracer) {
+	s.tracer.Store(tr)
 }
 
 // NewServer returns a server with a fresh catalog and no resources; add at
@@ -114,6 +125,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 	defer sess.closeAll()
 
+	tr := s.tracer.Load()
+	lane := tr.NextID() // this connection's trace lane on the server row
+
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
@@ -125,8 +139,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 		atomic.AddInt64(&s.stats.Requests, 1)
+		// The dispatch span closes before the response is written, so its
+		// events land while the client is still blocked on the reply —
+		// server events nest deterministically inside the client's wire
+		// span under a virtual clock.
+		sp := tr.BeginServer("server", opName(req.op), lane)
 		resp := sess.dispatch(req)
 		resp.seq = req.seq
+		if tr.Enabled() {
+			tr.Observe("srb.server.dispatch", sp.End())
+		}
 		if err := writeResponse(bw, resp); err != nil {
 			return
 		}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Edge cases for the phase model and the derived ratios: the simulator
+// occasionally produces degenerate runs (an all-compute warmup, an
+// instantaneous I/O phase, a measured async time faster than the model's
+// floor), and every ratio here must degrade to a sane bounded value
+// instead of Inf/NaN leaking into the figure tables.
+
+func TestPhasesEdgeCases(t *testing.T) {
+	tests := []struct {
+		name     string
+		p        Phases
+		total    time.Duration
+		expected time.Duration
+		speedup  float64
+	}{
+		{
+			name:     "zero phases",
+			p:        Phases{},
+			total:    0,
+			expected: 0,
+			speedup:  1, // no work: nothing to overlap, speedup is neutral
+		},
+		{
+			name:     "compute only",
+			p:        Phases{Compute: 3 * time.Second},
+			total:    3 * time.Second,
+			expected: 3 * time.Second,
+			speedup:  1, // no I/O to hide: overlap buys nothing
+		},
+		{
+			name:     "io only",
+			p:        Phases{IO: 3 * time.Second},
+			total:    3 * time.Second,
+			expected: 3 * time.Second,
+			speedup:  1, // no compute to hide behind
+		},
+		{
+			name:     "perfectly balanced",
+			p:        Phases{Compute: 2 * time.Second, IO: 2 * time.Second},
+			total:    4 * time.Second,
+			expected: 2 * time.Second,
+			speedup:  2, // the model's ceiling
+		},
+		{
+			name:     "io dominant",
+			p:        Phases{Compute: time.Second, IO: 9 * time.Second},
+			total:    10 * time.Second,
+			expected: 9 * time.Second,
+			speedup:  10.0 / 9.0,
+		},
+		{
+			name:     "nanosecond phases",
+			p:        Phases{Compute: 1, IO: 1},
+			total:    2,
+			expected: 1,
+			speedup:  2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Total(); got != tt.total {
+				t.Errorf("Total() = %v, want %v", got, tt.total)
+			}
+			if got := tt.p.Expected(); got != tt.expected {
+				t.Errorf("Expected() = %v, want %v", got, tt.expected)
+			}
+			got := tt.p.MaxSpeedup()
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("MaxSpeedup() = %v, want finite", got)
+			}
+			if math.Abs(got-tt.speedup) > 1e-9 {
+				t.Errorf("MaxSpeedup() = %v, want %v", got, tt.speedup)
+			}
+		})
+	}
+}
+
+func TestMaxSpeedupBounds(t *testing.T) {
+	// Whatever the phase split, the model never promises more than 2x
+	// (perfect overlap of two phases) and never less than 1x.
+	for _, p := range []Phases{
+		{},
+		{Compute: time.Nanosecond},
+		{IO: time.Hour},
+		{Compute: time.Millisecond, IO: time.Hour},
+		{Compute: time.Hour, IO: time.Hour},
+		{Compute: 7 * time.Second, IO: 5 * time.Second},
+	} {
+		got := p.MaxSpeedup()
+		if got < 1 || got > 2 {
+			t.Errorf("MaxSpeedup(%+v) = %v, want within [1,2]", p, got)
+		}
+	}
+}
+
+func TestOverlapEfficiencyEdgeCases(t *testing.T) {
+	base := Phases{Compute: 4 * time.Second, IO: time.Second}
+	tests := []struct {
+		name  string
+		p     Phases
+		async time.Duration
+		want  float64
+	}{
+		{
+			// A measured time below the theoretical floor (timer jitter,
+			// cache effects) must clamp to 1, not report >100%.
+			name:  "faster than theoretical clamps to 1",
+			p:     base,
+			async: 2 * time.Second,
+			want:  1,
+		},
+		{
+			name:  "exactly theoretical",
+			p:     base,
+			async: 4 * time.Second,
+			want:  1,
+		},
+		{
+			name:  "zero async time",
+			p:     base,
+			async: 0,
+			want:  0,
+		},
+		{
+			name:  "negative async time",
+			p:     base,
+			async: -time.Second,
+			want:  0,
+		},
+		{
+			// Zero phases with a real measured time: 0/async = 0.
+			name:  "zero phases",
+			p:     Phases{},
+			async: time.Second,
+			want:  0,
+		},
+		{
+			// Both degenerate: the zero-async guard wins.
+			name:  "zero phases and zero async",
+			p:     Phases{},
+			async: 0,
+			want:  0,
+		},
+		{
+			name:  "half efficiency",
+			p:     base,
+			async: 8 * time.Second,
+			want:  0.5,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := OverlapEfficiency(tt.p, tt.async)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("OverlapEfficiency = %v, want finite", got)
+			}
+			if got < 0 || got > 1 {
+				t.Fatalf("OverlapEfficiency = %v, want within [0,1]", got)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("OverlapEfficiency = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestImprovementEdgeCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		base, opt time.Duration
+		want      float64
+	}{
+		{"zero base", 0, time.Second, 0},
+		{"negative base", -time.Second, time.Second, 0},
+		{"no change", time.Second, time.Second, 0},
+		{"regression goes negative", time.Second, 2 * time.Second, -1},
+		{"full elimination", time.Second, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Improvement(tt.base, tt.opt)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Improvement = %v, want finite", got)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Improvement(%v, %v) = %v, want %v", tt.base, tt.opt, got, tt.want)
+			}
+		})
+	}
+}

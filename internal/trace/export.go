@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteChrome writes the recorded events as Chrome trace-event JSON
+// (the "JSON Array Format" wrapped in an object), loadable in
+// about:tracing or https://ui.perfetto.dev. The output is deterministic:
+// events appear in recording order, args keep their recorded order, and
+// all fields are emitted by hand rather than through map-backed encoding
+// — under a virtual clock the same workload produces identical bytes,
+// which the golden-trace test relies on.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	// bufio.Writer errors are sticky and surface at the final Flush, so the
+	// intermediate prints go unchecked through fmt.
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{\"traceEvents\":[\n")
+
+	// Metadata: name the two process rows.
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"semplar-client\"}},\n", PidClient)
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"srb-server\"}}", PidServer)
+
+	if t != nil {
+		evs, _, _ := t.snapshot()
+		for i := range evs {
+			fmt.Fprint(bw, ",\n")
+			writeEvent(bw, &evs[i])
+		}
+	}
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// writeEvent emits one event object with a fixed field order.
+func writeEvent(bw *bufio.Writer, e *event) {
+	fmt.Fprintf(bw, "{\"ph\":%q,\"pid\":%d,\"tid\":%d,\"ts\":%s",
+		string(e.ph), e.pid, e.tid, micros(e.ts))
+	if e.ph == 'X' {
+		fmt.Fprintf(bw, ",\"dur\":%s", micros(e.dur))
+	}
+	if e.cat != "" {
+		fmt.Fprintf(bw, ",\"cat\":%s", strconv.Quote(e.cat))
+	}
+	fmt.Fprintf(bw, ",\"name\":%s", strconv.Quote(e.name))
+	if e.ph == 'i' {
+		// Instant scope: thread.
+		fmt.Fprint(bw, ",\"s\":\"t\"")
+	}
+	if len(e.args) > 0 {
+		fmt.Fprint(bw, ",\"args\":{")
+		for i, a := range e.args {
+			if i > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			if a.IsStr {
+				fmt.Fprintf(bw, "%s:%s", strconv.Quote(a.Key), strconv.Quote(a.Str))
+			} else {
+				fmt.Fprintf(bw, "%s:%d", strconv.Quote(a.Key), a.Int)
+			}
+		}
+		fmt.Fprint(bw, "}")
+	}
+	fmt.Fprint(bw, "}")
+}
+
+// micros renders nanoseconds as the decimal microsecond value Chrome
+// expects in ts/dur, with fixed sub-microsecond precision.
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// Summary renders counters, gauges and histograms as a human-readable
+// table — the quick look that does not need a trace viewer.
+func (t *Tracer) Summary() string {
+	var b strings.Builder
+	b.WriteString("== trace summary ==\n")
+	if t == nil {
+		b.WriteString("(tracing disabled)\n")
+		return b.String()
+	}
+	evs, ctrs, hists := t.snapshot()
+	fmt.Fprintf(&b, "events recorded: %d\n", len(evs))
+
+	if len(ctrs) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range ctrs {
+			kind := "count"
+			if c.gauge {
+				kind = "gauge"
+			}
+			fmt.Fprintf(&b, "  %-36s %-6s %12d\n", c.name, kind, c.val.Load())
+		}
+	}
+
+	if len(hists) > 0 {
+		names := make([]string, 0, len(hists))
+		for name := range hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("latency histograms:\n")
+		fmt.Fprintf(&b, "  %-36s %8s %12s %12s %12s %12s\n",
+			"name", "count", "mean", "p50", "p99", "max")
+		for _, name := range names {
+			h := hists[name]
+			fmt.Fprintf(&b, "  %-36s %8d %12s %12s %12s %12s\n",
+				name, h.Count(),
+				time.Duration(h.Mean()), time.Duration(h.Quantile(0.50)),
+				time.Duration(h.Quantile(0.99)), time.Duration(h.Max()))
+		}
+	}
+	return b.String()
+}

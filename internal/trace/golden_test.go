@@ -1,0 +1,129 @@
+// Golden-trace test: a fixed scripted workload over the full stack —
+// public semplar API, async engine, SRB wire protocol, simulated network,
+// SRB server — must reproduce the committed Chrome trace byte for byte.
+//
+// Determinism rests on four legs: a virtual tracer clock (timestamps
+// encode event order, not wall time), a zero-latency/zero-jitter netsim
+// profile (no sleeps, no shaping), a strictly sequential workload (one
+// stream, one I/O thread, a Wait after every async call), and the
+// instrumentation's ordering discipline (completion events recorded
+// before the waiter wakes; concurrent byte counts use silent counters).
+// If this test fails after an instrumentation change, inspect the diff:
+// an intentional event change means regenerating with -update; an
+// unstable ordering means the new event must move under a lock or become
+// a silent counter.
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semplar"
+	"semplar/internal/cluster"
+	"semplar/internal/netsim"
+	"semplar/internal/storage"
+	"semplar/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenSpec is an unshaped testbed: zero latency, zero jitter, no rate
+// limiters, no device metering — nothing sleeps, so event order is fixed
+// by program order alone.
+func goldenSpec() cluster.Spec {
+	return cluster.Spec{
+		Name:    "golden",
+		Profile: netsim.Profile{Name: "golden"},
+		Device:  storage.DeviceSpec{},
+	}
+}
+
+// runScripted executes the fixed workload and returns the exported trace.
+func runScripted(t *testing.T) []byte {
+	t.Helper()
+	tr := trace.NewWith(trace.NewVirtualClock(1000))
+	tb := cluster.New(goldenSpec(), 1)
+	tb.SetTracer(tr)
+
+	client, err := semplar.NewClient(tb.Dialer(0), semplar.Options{Tracer: tr})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	f, err := client.Open("/golden.dat", semplar.O_RDWR|semplar.O_CREATE|semplar.O_TRUNC)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// Two async writes and an async read-back, each awaited before the
+	// next call so exactly one request is ever in flight.
+	if _, err := f.IWriteAt(payload, 0).Wait(); err != nil {
+		t.Fatalf("IWriteAt #1: %v", err)
+	}
+	if _, err := f.IWriteAt(payload, int64(len(payload))).Wait(); err != nil {
+		t.Fatalf("IWriteAt #2: %v", err)
+	}
+	rbuf := make([]byte, len(payload))
+	if _, err := f.IReadAt(rbuf, 0).Wait(); err != nil {
+		t.Fatalf("IReadAt: %v", err)
+	}
+	if !bytes.Equal(rbuf, payload) {
+		t.Fatal("read-back mismatch")
+	}
+	// One blocking write exercises the mpiio-level span.
+	if _, err := f.WriteAt(payload[:4096], 2*int64(len(payload))); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTrace pins the end-to-end trace of the scripted workload.
+// Regenerate intentionally-changed instrumentation with:
+//
+//	go test ./internal/trace/ -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	got := runScripted(t)
+
+	// Two runs in the same process must agree before comparing against
+	// the committed file; a same-process diff means the ordering
+	// discipline broke, not the golden file.
+	again := runScripted(t)
+	if !bytes.Equal(got, again) {
+		t.Fatalf("back-to-back runs disagree: trace is not deterministic\nrun1:\n%s\nrun2:\n%s", got, again)
+	}
+
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		t.Logf("golden file rewritten: %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverged from golden file (regenerate with -update if intended)\ngot %d bytes:\n%s\nwant %d bytes:\n%s",
+			len(got), got, len(want), want)
+	}
+}

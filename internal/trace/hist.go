@@ -1,0 +1,90 @@
+package trace
+
+import "sync/atomic"
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// holds observations in [2^i, 2^(i+1)) nanoseconds, except bucket 0 which
+// also absorbs sub-nanosecond values and the last bucket which absorbs
+// everything larger (~1.2 hours and up).
+const histBuckets = 42
+
+// Hist is a lock-free latency histogram over power-of-two nanosecond
+// buckets — coarse, but enough to separate a queued microsecond from a
+// WAN round trip, and cheap enough for per-operation recording.
+type Hist struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	bucket [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(nanos int64) int {
+	if nanos < 1 {
+		return 0
+	}
+	b := 0
+	for v := nanos; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(nanos)
+	for {
+		old := h.max.Load()
+		if nanos <= old || h.max.CompareAndSwap(old, nanos) {
+			break
+		}
+	}
+	h.bucket[bucketOf(nanos)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observation in nanoseconds.
+func (h *Hist) Mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Max returns the largest observation in nanoseconds.
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// in nanoseconds: the top edge of the bucket containing the q-th
+// observation. Good to within a factor of two, which is the resolution
+// this histogram trades for being lock-free.
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.bucket[i].Load()
+		if seen >= rank {
+			// Upper edge of bucket i, clamped to the observed max.
+			edge := int64(1) << uint(i+1)
+			if m := h.max.Load(); edge > m {
+				edge = m
+			}
+			return edge
+		}
+	}
+	return h.max.Load()
+}

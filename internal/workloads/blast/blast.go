@@ -15,6 +15,7 @@ import (
 	"semplar/internal/mpi"
 	"semplar/internal/mpiio"
 	"semplar/internal/stats"
+	"semplar/internal/trace"
 	"semplar/internal/workloads/datagen"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	Mode       Mode
 	PathPrefix string // worker w writes <PathPrefix><w>.out
 	Hints      adio.Hints
+	// Tracer, when non-nil, records each worker's request lifecycle
+	// (engine queue, wire ops) so a trace viewer shows the compute/I-O
+	// overlap the benchmark is designed to exercise.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -166,6 +171,9 @@ func runMaster(c *mpi.Comm, nqueries int) {
 func runWorker(c *mpi.Comm, reg *adio.Registry, cfg *Config) (queries, hits int, bytes int64, computeTime, ioTime time.Duration, err error) {
 	path := fmt.Sprintf("%s%d.out", cfg.PathPrefix, c.Rank())
 	f, ferr := mpiio.OpenLocal(reg, path, adio.O_WRONLY|adio.O_CREATE|adio.O_TRUNC, cfg.Hints)
+	if ferr == nil && cfg.Tracer != nil {
+		f.SetTracer(cfg.Tracer)
+	}
 	if ferr != nil {
 		err = ferr
 		return

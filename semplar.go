@@ -24,6 +24,7 @@ import (
 	"semplar/internal/core"
 	"semplar/internal/mpiio"
 	"semplar/internal/srb"
+	"semplar/internal/trace"
 )
 
 // Open flags (POSIX-like, matching the SRBFS protocol).
@@ -59,6 +60,16 @@ func DefaultRetryPolicy() RetryPolicy { return srb.DefaultRetryPolicy() }
 // reconnects, replayed operations and the remaining reconnect budget.
 type FaultStats = core.FaultStats
 
+// Tracer records end-to-end request traces and metrics: per-request
+// lifecycle spans (queued → run → wire), queue-depth and in-flight gauges,
+// per-stream byte counters and latency histograms. Export the result with
+// WriteChrome (Chrome trace-event JSON for about:tracing / Perfetto) or
+// Summary (plain text). A nil Tracer is valid and free: tracing off.
+type Tracer = trace.Tracer
+
+// NewTracer returns a wall-clock Tracer ready to pass in Options.
+func NewTracer() *Tracer { return trace.New() }
+
 // Options tune a Client.
 type Options struct {
 	// User identifies the client to the server (default "semplar").
@@ -84,6 +95,10 @@ type Options struct {
 	// (0 = a default of 8 when Retry is enabled; negative disables
 	// reconnection while keeping same-connection retries).
 	ReconnectBudget int
+	// Tracer, when non-nil, records every request's lifecycle across the
+	// whole stack (engine queue, wire ops, per-stream bytes, faults). Nil
+	// keeps tracing off at near-zero cost.
+	Tracer *Tracer
 }
 
 // Client is a handle to one SRB server.
@@ -118,6 +133,7 @@ func NewClient(dial DialFunc, opts Options) (*Client, error) {
 		StripeSize:      opts.StripeSize,
 		Retry:           opts.Retry,
 		ReconnectBudget: opts.ReconnectBudget,
+		Tracer:          opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +174,9 @@ func (c *Client) OpenWith(path string, flags int, oo OpenOptions) (*File, error)
 	f, err := mpiio.OpenLocal(c.reg, "srb:"+path, flags, hints)
 	if err != nil {
 		return nil, err
+	}
+	if c.opts.Tracer != nil {
+		f.SetTracer(c.opts.Tracer)
 	}
 	return &File{File: f}, nil
 }
