@@ -9,9 +9,9 @@ RACE_PKGS = ./...
 # -fuzz <name> ./internal/srb` with no time limit).
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race lint fuzz-short bench
+.PHONY: check vet build test race lint fuzz-short chaos-short chaos-long bench
 
-check: vet build test race lint fuzz-short
+check: vet build test race lint fuzz-short chaos-short
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,17 @@ fuzz-short:
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadRequest -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadResponse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeFileInfo -fuzztime=$(FUZZTIME)
+
+# Seeded chaos smoke: a full workload under connection kills, partitions,
+# latency spikes and a server crash/restart, with end-to-end checksum
+# verification and leak checks. Deterministic schedule, seconds to run.
+chaos-short:
+	$(GO) test ./internal/chaos -run TestChaosShort -count=1
+
+# The full soak (several seeds, every fault class repeatedly); not part of
+# `make check`.
+chaos-long:
+	$(GO) test -tags chaoslong ./internal/chaos -run TestChaosLong -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

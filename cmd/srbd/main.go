@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +34,9 @@ func main() {
 	readMBps := flag.Float64("read-mbps", 0, "device read bandwidth in MiB/s (0 = unlimited)")
 	writeMBps := flag.Float64("write-mbps", 0, "device write bandwidth in MiB/s (0 = unlimited)")
 	statsEvery := flag.Duration("stats", 0, "print server stats at this interval (0 = off)")
+	maxConns := flag.Int("max-conns", 0, "cap on concurrently served connections (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently executing requests (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight operations on shutdown")
 	flag.Parse()
 
 	var store storage.Store
@@ -56,6 +61,7 @@ func main() {
 
 	srv := srb.NewServer()
 	srv.AddResource("default", kind, store)
+	srv.SetLimits(srb.Limits{MaxConns: *maxConns, MaxInflight: *maxInflight})
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -79,15 +85,24 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println()
+		log.Printf("srbd: draining (up to %v for in-flight operations)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("srbd: drain incomplete: %v", err)
+		}
 		st := srv.Stats()
-		log.Printf("srbd: shutting down (served %d connections, %d requests)",
-			st.Connections, st.Requests)
-		//lint:allow errdrop -- process exits on the next line; the listener dies either way
-		l.Close()
+		log.Printf("srbd: shut down (served %d connections, %d requests; %d ops drained, %d shed)",
+			st.Connections, st.Requests, st.Drained, st.Shed)
 		os.Exit(0)
 	}()
 
-	if err := srv.Serve(l); err != nil {
+	err = srv.Serve(l)
+	if errors.Is(err, srb.ErrServerClosed) {
+		// Shutdown owns the exit path; wait for it to finish logging.
+		select {}
+	}
+	if err != nil {
 		log.Fatalf("srbd: %v", err)
 	}
 }

@@ -1,0 +1,339 @@
+// Package chaos is the deterministic fault-injection harness: it runs a
+// full remote-I/O workload on a simulated cluster testbed while a seeded
+// fault schedule (connection kills, partitions, latency spikes, server
+// crash/restart cycles) plays out against it, then verifies end-to-end
+// integrity — every file's bytes read back checksum-identical, the
+// server-side checksum agrees, and nothing leaked (handles, connections,
+// goroutines). A failure reproduces from its seed alone.
+package chaos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+)
+
+// Config sizes one chaos run. The zero value is filled with small but
+// meaningful defaults; only Seed is always meaningful as given.
+type Config struct {
+	// Seed drives both the fault schedule and the file contents; the
+	// same seed reproduces the same run shape exactly.
+	Seed int64
+
+	// Spec is the testbed profile. The zero Spec runs unshaped loopback
+	// networking with an unmetered store — fast functional chaos.
+	Spec cluster.Spec
+
+	Nodes    int // client nodes (default 2)
+	Files    int // files written per node (default 2)
+	FileSize int // bytes per file (default 256 KiB)
+	Streams  int // TCP streams per open handle (default 2)
+	Chunk    int // write/read granularity (default 64 KiB)
+
+	// Fault sizes the generated schedule; its Nodes and Horizon are
+	// defaulted from the workload if zero.
+	Fault netsim.ChaosConfig
+
+	// Retry is the client fault-tolerance policy; the zero value gets a
+	// generous default suited to riding out the schedule's windows.
+	Retry srb.RetryPolicy
+	// ReconnectBudget per open handle (default 128).
+	ReconnectBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Spec.Name == "" {
+		c.Spec = cluster.Spec{Name: "chaos-loopback", Profile: netsim.Loopback()}
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 2
+	}
+	if c.Files <= 0 {
+		c.Files = 2
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 256 << 10
+	}
+	if c.Streams <= 0 {
+		c.Streams = 2
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 64 << 10
+	}
+	if c.Fault.Nodes == 0 {
+		c.Fault.Nodes = c.Nodes
+	}
+	if c.Fault.Horizon == 0 {
+		c.Fault.Horizon = 1500 * time.Millisecond
+	}
+	if !c.Retry.Enabled() {
+		c.Retry = srb.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  200 * time.Millisecond,
+			Multiplier:  1.5,
+			Jitter:      0.2,
+			OpTimeout:   5 * time.Second,
+		}
+	}
+	if c.ReconnectBudget == 0 {
+		c.ReconnectBudget = 128
+	}
+	return c
+}
+
+// FileReport is the verification record for one workload file.
+type FileReport struct {
+	Path      string
+	Sum       string // hex SHA-256 of the bytes read back by the client
+	ServerSum string // hex SHA-256 computed server-side (Schksum facility)
+	Verified  bool   // both sums match the expected content
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	Schedule     netsim.Schedule // the fault timeline that was played
+	ScheduleDone bool            // every event fired before the workload finished
+	Files        []FileReport
+	Server       srb.ServerStats
+	Reconnects   int64 // total stream redials across all handles
+	RetriedOps   int64 // total replayed operations across all handles
+}
+
+// filePath names one workload file.
+func filePath(node, i int) string {
+	return fmt.Sprintf("/chaos/node%d/f%d", node, i)
+}
+
+// fileContent deterministically generates one file's payload from the run
+// seed: same seed, same bytes, on every run and in every phase.
+func fileContent(seed int64, node, i, size int) []byte {
+	rng := rand.New(rand.NewSource(seed ^ int64(node)<<32 ^ int64(i)<<16))
+	buf := make([]byte, size)
+	rng.Read(buf)
+	return buf
+}
+
+// Run executes one seeded chaos run and verifies it. It returns an error
+// for infrastructure failures and verification failures alike; on success
+// every file in the Result is Verified.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	baselineGoroutines := runtime.NumGoroutine()
+
+	tb := cluster.New(cfg.Spec, cfg.Nodes)
+	if err := tb.Server.MkdirAll("/chaos"); err != nil {
+		return nil, err
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		if err := tb.Server.MkdirAll(fmt.Sprintf("/chaos/node%d", n)); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Schedule: netsim.GenSchedule(cfg.Seed, cfg.Fault)}
+
+	// The fault timeline plays against the testbed while the workload
+	// runs. If the workload outlives the schedule, every event fires; if
+	// it finishes first, the stop channel cancels the rest and the
+	// testbed is normalized below before verification.
+	stop := make(chan struct{})
+	schedDone := make(chan bool, 1)
+	go func() { schedDone <- res.Schedule.Run(stop, tb) }()
+
+	type nodeOutcome struct {
+		err                    error
+		reconnects, retriedOps int64
+	}
+	outcomes := make(chan nodeOutcome, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		go func(node int) {
+			rec, ret, err := runNodeWorkload(tb, cfg, node)
+			outcomes <- nodeOutcome{err: err, reconnects: rec, retriedOps: ret}
+		}(n)
+	}
+	var workErr error
+	for i := 0; i < cfg.Nodes; i++ {
+		o := <-outcomes
+		if o.err != nil && workErr == nil {
+			workErr = o.err
+		}
+		res.Reconnects += o.reconnects
+		res.RetriedOps += o.retriedOps
+	}
+	close(stop)
+	res.ScheduleDone = <-schedDone
+
+	// Normalize the testbed for the verification phase: faults are over,
+	// the server must be up and the network clean.
+	tb.RestartServer()
+	tb.LatencySpike(0)
+	if workErr != nil {
+		return res, fmt.Errorf("chaos: workload failed: %w", workErr)
+	}
+
+	if err := verify(tb, cfg, res); err != nil {
+		return res, err
+	}
+	if err := checkLeaks(tb, res, baselineGoroutines); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runNodeWorkload writes this node's files through the full SEMPLAR client
+// stack (striped streams, retry/reconnect) while faults fire, then reads
+// each back through the same handles for a first-pass content check.
+func runNodeWorkload(tb *cluster.Testbed, cfg Config, node int) (reconnects, retriedOps int64, err error) {
+	fs, err := core.NewSRBFS(core.SRBFSConfig{
+		Dial:            tb.Dialer(node),
+		User:            fmt.Sprintf("chaos-node%d", node),
+		Streams:         cfg.Streams,
+		StripeSize:      cfg.Chunk,
+		Retry:           cfg.Retry,
+		ReconnectBudget: cfg.ReconnectBudget,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < cfg.Files; i++ {
+		p := filePath(node, i)
+		content := fileContent(cfg.Seed, node, i, cfg.FileSize)
+		rec, ret, werr := writeAndReadBack(fs, p, content, cfg.Chunk)
+		reconnects += rec
+		retriedOps += ret
+		if werr != nil {
+			return reconnects, retriedOps, fmt.Errorf("%s: %w", p, werr)
+		}
+	}
+	return reconnects, retriedOps, nil
+}
+
+func writeAndReadBack(fs *core.SRBFS, p string, content []byte, chunk int) (reconnects, retriedOps int64, err error) {
+	f, err := fs.Open(p, adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if fr, ok := f.(core.FaultReporter); ok {
+			st := fr.FaultStats()
+			reconnects, retriedOps = st.Reconnects, st.RetriedOps
+		}
+		cerr := f.Close()
+		if err == nil {
+			err = cerr
+		}
+	}()
+	// Chunked writes give the schedule many distinct fault windows; each
+	// chunk is an idempotent explicit-offset op the client may replay.
+	for off := 0; off < len(content); off += chunk {
+		end := off + chunk
+		if end > len(content) {
+			end = len(content)
+		}
+		if _, werr := f.WriteAt(content[off:end], int64(off)); werr != nil {
+			return 0, 0, fmt.Errorf("write@%d: %w", off, werr)
+		}
+	}
+	got := make([]byte, len(content))
+	if _, rerr := f.ReadAt(got, 0); rerr != nil {
+		return 0, 0, fmt.Errorf("readback: %w", rerr)
+	}
+	if !bytes.Equal(got, content) {
+		return 0, 0, fmt.Errorf("readback mismatch under faults")
+	}
+	return 0, 0, nil
+}
+
+// verify re-reads every file through fresh fault-free clients and compares
+// three ways: expected content hash, client read-back hash, and the
+// server-side Schksum computed without shipping the bytes.
+func verify(tb *cluster.Testbed, cfg Config, res *Result) error {
+	conn, err := srb.DialRetry(tb.Dialer(0), "chaos-verify", cfg.Retry)
+	if err != nil {
+		return fmt.Errorf("chaos: verify dial: %w", err)
+	}
+	defer conn.Close()
+
+	for n := 0; n < cfg.Nodes; n++ {
+		fs, err := core.NewSRBFS(core.SRBFSConfig{
+			Dial:  tb.Dialer(n),
+			User:  "chaos-verify",
+			Retry: cfg.Retry,
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Files; i++ {
+			p := filePath(n, i)
+			content := fileContent(cfg.Seed, n, i, cfg.FileSize)
+			wantSum := sha256.Sum256(content)
+			want := hex.EncodeToString(wantSum[:])
+
+			rep := FileReport{Path: p}
+			f, err := fs.Open(p, adio.O_RDONLY, nil)
+			if err != nil {
+				return fmt.Errorf("chaos: verify open %s: %w", p, err)
+			}
+			got := make([]byte, len(content))
+			_, rerr := f.ReadAt(got, 0)
+			cerr := f.Close()
+			if rerr != nil {
+				return fmt.Errorf("chaos: verify read %s: %w", p, rerr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("chaos: verify close %s: %w", p, cerr)
+			}
+			gotSum := sha256.Sum256(got)
+			rep.Sum = hex.EncodeToString(gotSum[:])
+
+			srvSum, srvSize, err := conn.Checksum(p)
+			if err != nil {
+				return fmt.Errorf("chaos: server checksum %s: %w", p, err)
+			}
+			rep.ServerSum = srvSum
+
+			rep.Verified = rep.Sum == want && rep.ServerSum == want &&
+				srvSize == int64(len(content))
+			res.Files = append(res.Files, rep)
+			if !rep.Verified {
+				return fmt.Errorf("chaos: %s corrupted: want %s, client %s, server %s (size %d/%d)",
+					p, want, rep.Sum, rep.ServerSum, srvSize, len(content))
+			}
+		}
+	}
+	return nil
+}
+
+// checkLeaks asserts the run left nothing behind: no open server handles,
+// no live connections on either side of the simulated network, and a
+// goroutine count back near the pre-run baseline.
+func checkLeaks(tb *cluster.Testbed, res *Result, baseline int) error {
+	srv := tb.ActiveServer()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Stats()
+		nconns := tb.Net.Conns()
+		ngo := runtime.NumGoroutine()
+		if st.OpenHandles == 0 && st.ActiveConns == 0 && nconns == 0 &&
+			ngo <= baseline+3 {
+			res.Server = st
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: leak check failed: OpenHandles=%d ActiveConns=%d netConns=%d goroutines=%d (baseline %d)",
+				st.OpenHandles, st.ActiveConns, nconns, ngo, baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

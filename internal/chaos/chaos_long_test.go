@@ -1,0 +1,70 @@
+//go:build chaoslong
+
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"semplar/internal/cluster"
+	"semplar/internal/netsim"
+	"semplar/internal/storage"
+)
+
+// TestChaosLong is the full-schedule soak: more nodes, more files, a
+// longer horizon with every fault class firing repeatedly, run across
+// several seeds. Excluded from `make check` (build tag chaoslong); run it
+// with:
+//
+//	go test -tags chaoslong ./internal/chaos -run TestChaosLong -v
+func TestChaosLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos soak")
+	}
+	for _, seed := range []int64{1, 42, 31337} {
+		seed := seed
+		cfg := Config{
+			Seed: seed,
+			Spec: cluster.Spec{
+				Name:    "chaos-long",
+				Profile: netsim.Loopback(),
+				Device: storage.DeviceSpec{
+					Name:      "chaos-dev",
+					ReadRate:  16 * netsim.MBps,
+					WriteRate: 2 * netsim.MBps,
+					OpLatency: time.Millisecond,
+				},
+			},
+			Nodes:    4,
+			Files:    4,
+			FileSize: 512 << 10,
+			Streams:  2,
+			Chunk:    64 << 10,
+			Fault: netsim.ChaosConfig{
+				Horizon:        6 * time.Second,
+				ConnKills:      12,
+				Partitions:     4,
+				PartitionDur:   250 * time.Millisecond,
+				Spikes:         4,
+				SpikeMax:       10 * time.Millisecond,
+				SpikeDur:       300 * time.Millisecond,
+				ServerKills:    3,
+				ServerDowntime: 120 * time.Millisecond,
+			},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, f := range res.Files {
+			if !f.Verified {
+				t.Errorf("seed %d: %s not verified", seed, f.Path)
+			}
+		}
+		if res.Reconnects < 1 {
+			t.Errorf("seed %d: schedule never bit the workload", seed)
+		}
+		t.Logf("seed %d: %d files verified, %d reconnects, %d retried ops, server %+v",
+			seed, len(res.Files), res.Reconnects, res.RetriedOps, res.Server)
+	}
+}

@@ -5,10 +5,14 @@
 package cluster
 
 import (
+	"errors"
 	"net"
+	"sync"
+	"time"
 
 	"semplar/internal/adio"
 	"semplar/internal/core"
+	"semplar/internal/mcat"
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
@@ -54,22 +58,70 @@ func TGNCSA() Spec { return Spec{Name: "TG-NCSA", Profile: netsim.TGNCSA(), Devi
 // Specs returns the three paper testbeds in presentation order.
 func Specs() []Spec { return []Spec{DAS2(), OSC(), TGNCSA()} }
 
+// ErrServerDown is the transient dial error while the testbed's server is
+// killed and not yet restarted. srb.Retryable classifies it retryable, so
+// clients ride out a crash window with their normal backoff.
+var ErrServerDown = errors.New("cluster: server down")
+
 // Testbed is a running simulated deployment: one SRB server, one client
 // cluster, and per-node ADIO registries whose "srb" driver dials through
 // that node's shaped path.
+//
+// The server is a crashable fault domain: KillServer models a process
+// death (connections reset, journaling stops), RestartServer brings up a
+// fresh server over the same storage, rebuilding the MCAT from the
+// journal. The Server field always points at the current generation; code
+// that must survive restarts uses ActiveServer.
 type Testbed struct {
-	Spec   Spec
-	Net    *netsim.Network
+	Spec Spec
+	Net  *netsim.Network
+	// Server is the current server generation. Read it directly only in
+	// single-threaded test setup/teardown; concurrent code must use
+	// ActiveServer (the field is rewritten by RestartServer).
 	Server *srb.Server
+
+	store   storage.Store
+	journal *mcat.MemJournal
+
+	mu     sync.Mutex
+	srv    *srb.Server // guarded by mu; nil while killed
+	limits srb.Limits  // guarded by mu; applied to every generation
+	tracer *trace.Tracer
 }
 
 // New brings up a testbed with the given number of client nodes.
 func New(spec Spec, nodes int) *Testbed {
-	return &Testbed{
-		Spec:   spec,
-		Net:    netsim.NewNetwork(spec.Profile, nodes),
-		Server: srb.NewMemServer(spec.Device),
+	var st storage.Store = storage.NewMemStore()
+	d := spec.Device
+	if d.ReadRate > 0 || d.WriteRate > 0 || d.OpLatency > 0 {
+		st = storage.WithDevice(st, d)
 	}
+	tb := &Testbed{
+		Spec:    spec,
+		Net:     netsim.NewNetwork(spec.Profile, nodes),
+		store:   st,
+		journal: mcat.NewMemJournal(),
+	}
+	tb.srv = tb.newServer(tb.limits, tb.tracer)
+	tb.Server = tb.srv
+	return tb
+}
+
+// newServer builds one server generation over the shared store, replays
+// the journal into its catalog and attaches the journal for subsequent
+// mutations. Resources are re-registered (not journaled), mirroring a
+// real daemon's startup order: config, replay, serve. The mu-guarded
+// limits/tracer are passed in by the caller rather than read here.
+func (tb *Testbed) newServer(limits srb.Limits, tr *trace.Tracer) *srb.Server {
+	srv := srb.NewServer()
+	srv.AddResource("mem", "memory", tb.store)
+	srv.Catalog().Replay(tb.journal.Records())
+	srv.Catalog().SetJournal(tb.journal)
+	srv.SetLimits(limits)
+	if tr != nil {
+		srv.SetTracer(tr)
+	}
+	return srv
 }
 
 // SetTracer wires tr into the testbed's fabric-level instrumentation:
@@ -78,15 +130,96 @@ func New(spec Spec, nodes int) *Testbed {
 // SRBFSConfig.Tracer passed to Registry. Call before dialing.
 func (tb *Testbed) SetTracer(tr *trace.Tracer) {
 	tb.Net.SetTracer(tr)
-	tb.Server.SetTracer(tr)
+	tb.mu.Lock()
+	tb.tracer = tr
+	srv := tb.srv
+	tb.mu.Unlock()
+	if srv != nil {
+		srv.SetTracer(tr)
+	}
 }
 
+// SetServerLimits applies admission-control limits to the current server
+// and every future generation. Call before serving traffic.
+func (tb *Testbed) SetServerLimits(l srb.Limits) {
+	tb.mu.Lock()
+	tb.limits = l
+	srv := tb.srv
+	tb.mu.Unlock()
+	if srv != nil {
+		srv.SetLimits(l)
+	}
+}
+
+// ActiveServer returns the current server generation, or nil while the
+// server is killed.
+func (tb *Testbed) ActiveServer() *srb.Server {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.srv
+}
+
+// KillServer crashes the server: its catalog is detached from the journal
+// (a dead process writes no more metadata), every established connection
+// is reset, and dials fail with ErrServerDown until RestartServer. The
+// in-memory object store survives, standing in for the disk array: bytes
+// that reached storage before the crash are still there — data whose
+// metadata was journaled is fully recovered, and the client replay path
+// reconciles the rest.
+func (tb *Testbed) KillServer() {
+	tb.mu.Lock()
+	srv := tb.srv
+	tb.srv = nil
+	tb.mu.Unlock()
+	if srv == nil {
+		return // already dead
+	}
+	srv.Catalog().SetJournal(nil)
+	tb.Net.KillAll()
+}
+
+// RestartServer brings a fresh server generation up from the journal. It
+// is a no-op if the server is already running. Clients reconnect through
+// their existing retry/reopen flow; nothing client-side knows a restart
+// happened.
+func (tb *Testbed) RestartServer() {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.srv != nil {
+		return
+	}
+	tb.srv = tb.newServer(tb.limits, tb.tracer)
+	tb.Server = tb.srv
+}
+
+// KillConns implements the chaos Injector verb: reset one node's
+// connections without touching the server.
+func (tb *Testbed) KillConns(node int) { tb.Net.KillConns(node) }
+
+// Partition implements the chaos Injector verb: cut one node off for d.
+func (tb *Testbed) Partition(node int, d time.Duration) { tb.Net.Partition(node, d) }
+
+// LatencySpike implements the chaos Injector verb: network-wide extra
+// one-way latency (0 clears).
+func (tb *Testbed) LatencySpike(extra time.Duration) { tb.Net.SetLatencySpike(extra) }
+
+var _ netsim.Injector = (*Testbed)(nil)
+
 // Dialer returns a core.DialFunc bound to one client node: every call
-// opens a fresh shaped connection from that node to the server.
+// opens a fresh shaped connection from that node to the current server
+// generation, failing transiently while the node is partitioned or the
+// server is down.
 func (tb *Testbed) Dialer(node int) core.DialFunc {
 	return func() (net.Conn, error) {
+		if err := tb.Net.DialFault(node); err != nil {
+			return nil, err
+		}
+		srv := tb.ActiveServer()
+		if srv == nil {
+			return nil, ErrServerDown
+		}
 		c, s := tb.Net.Dial(node)
-		go tb.Server.ServeConn(s)
+		go srv.ServeConn(s)
 		return c, nil
 	}
 }
@@ -108,3 +241,6 @@ func (tb *Testbed) Registry(node int, cfg core.SRBFSConfig) *adio.Registry {
 
 // Fabric is the MPI interconnect of the client cluster.
 func (tb *Testbed) Fabric() netsim.Fabric { return tb.Net.Interconnect() }
+
+// Journal exposes the shared MCAT journal (tests inspect it).
+func (tb *Testbed) Journal() *mcat.MemJournal { return tb.journal }

@@ -143,12 +143,6 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		tracer:      d.cfg.Tracer,
 	}
 	for i := 0; i < streams; i++ {
-		conn, err := d.connect()
-		if err != nil {
-			//lint:allow errdrop -- unwinding a partially-opened stripe set; the dial error is returned
-			f.Close()
-			return nil, err
-		}
 		// Only the first stream may truncate or exclusive-create;
 		// the rest reopen the now-existing file (O_CREATE is kept so
 		// the open cannot race with another node's create).
@@ -156,11 +150,9 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		if i > 0 {
 			sf = f.reopenFlags
 		}
-		file, err := conn.Open(path, sf, d.cfg.Resource)
+		conn, file, err := d.openStream(path, sf)
 		if err != nil {
 			//lint:allow errdrop -- unwinding a partially-opened stripe set; the open error is returned
-			conn.Close()
-			//lint:allow errdrop -- ditto: the already-opened streams are being discarded
 			f.Close()
 			return nil, err
 		}
@@ -172,6 +164,40 @@ func (d *SRBFS) Open(path string, flags int, hints adio.Hints) (adio.File, error
 		})
 	}
 	return f, nil
+}
+
+// openStream establishes one stream: dial (DialRetry already covers
+// transient dial failures) and open the file on the fresh connection. The
+// open RPC itself is retried under the same policy — a reset landing in
+// the window between a successful handshake and the open reply is as
+// transient as a refused dial, and a server shedding load answers the
+// open with ErrServerBusy, which deserves the same backed-off replay.
+func (d *SRBFS) openStream(path string, flags int) (*srb.Conn, *srb.File, error) {
+	attempts := d.cfg.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(d.cfg.Retry.Backoff(i - 1))
+		}
+		conn, err := d.connect()
+		if err != nil {
+			return nil, nil, err
+		}
+		file, err := conn.Open(path, flags, d.cfg.Resource)
+		if err == nil {
+			return conn, file, nil
+		}
+		//lint:allow errdrop -- discarding the conn whose open failed; that error decides the retry below
+		conn.Close()
+		if !srb.Retryable(err) {
+			return nil, nil, err
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("core: open %s: giving up after %d attempts: %w", path, attempts, lastErr)
 }
 
 // stream is one TCP stream of a striped handle. Its connection and file
@@ -303,6 +329,12 @@ func (f *srbFile) doOp(s *stream, write bool, buf []byte, off int64) (int, error
 			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
 		}
 		time.Sleep(pol.Backoff(attempt))
+		if errors.Is(err, srb.ErrServerBusy) {
+			// Overload shed: the server is healthy and the connection is
+			// fine (busy is a status reply, not a transport failure), so
+			// retry on the same stream without burning reconnect budget.
+			continue
+		}
 		if rerr := f.recoverStream(s, gen); rerr != nil {
 			if !srb.Retryable(rerr) {
 				return n, rerr

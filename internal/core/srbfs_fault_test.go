@@ -425,3 +425,86 @@ func TestRetryableErrorKinds(t *testing.T) {
 		t.Fatal("connection reset must be retryable")
 	}
 }
+
+func TestServerBusyRetriesWithoutReconnect(t *testing.T) {
+	// A server with one dispatch slot and slow storage: while a hog
+	// occupies the slot, everyone else is shed with ErrServerBusy.
+	srv := srb.NewMemServer(storage.DeviceSpec{OpLatency: 300 * time.Millisecond})
+	srv.SetLimits(srb.Limits{MaxInflight: 1})
+	d := newTrackingDialer(srv)
+	cfg := SRBFSConfig{
+		Dial: d.dial,
+		Retry: srb.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+			Multiplier:  2,
+			OpTimeout:   5 * time.Second,
+		},
+	}
+	fs, err := NewSRBFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/shed", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// The hog: a raw client whose slow write holds the only slot.
+	hogRaw, err := d.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := srb.NewConn(hogRaw, "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	hf, err := hc.Open("/hog", srb.O_RDWR|srb.O_CREATE, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hogDone := make(chan error, 1)
+	go func() {
+		_, werr := hf.WriteAt(make([]byte, 1024), 0)
+		hogDone <- werr
+	}()
+	// Wait until the hog's write request has reached the server (request
+	// 5: two per handshake+open for each client), then give dispatch a
+	// beat to occupy the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Requests < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hog write never arrived; stats %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	// The driver's write is shed, backs off, and replays on the SAME
+	// connection: busy is a status error, so recovery must not redial or
+	// spend reconnect budget.
+	if _, err := f.WriteAt([]byte("patience"), 0); err != nil {
+		t.Fatalf("write through busy window: %v", err)
+	}
+	if err := <-hogDone; err != nil {
+		t.Fatalf("hog write: %v", err)
+	}
+
+	st := f.(*srbFile).FaultStats()
+	if st.Reconnects != 0 {
+		t.Fatalf("busy retry redialed: %+v", st)
+	}
+	if st.RetriedOps < 1 {
+		t.Fatalf("no retried op recorded: %+v", st)
+	}
+	if sv := srv.Stats(); sv.Shed < 1 {
+		t.Fatalf("server Shed = %d, want >= 1", sv.Shed)
+	}
+	// Only the driver's one stream and the hog ever dialed.
+	if d.count() != 2 {
+		t.Fatalf("dial count = %d, want 2", d.count())
+	}
+}

@@ -86,6 +86,7 @@ type Catalog struct {
 	resources map[string]ResourceInfo
 	seq       uint64
 	now       func() time.Time
+	journal   Journal // guarded by mu; mutation log, nil = journaling off
 }
 
 // New returns a catalog containing only the root collection "/".
@@ -166,6 +167,8 @@ func (c *Catalog) CreateFile(p, resource string) (*Entry, error) {
 	}
 	c.entries[p] = e
 	c.touchParentLocked(p)
+	c.logLocked(Record{Op: JCreate, Path: p, Resource: resource,
+		Key: e.PhysicalKey, Seq: c.seq, Time: t.UnixNano()})
 	return e.clone(), nil
 }
 
@@ -225,6 +228,7 @@ func (c *Catalog) Mkdir(p string) error {
 	t := c.now()
 	c.entries[p] = &Entry{Path: p, Type: TypeCollection, Created: t, Modified: t}
 	c.touchParentLocked(p)
+	c.logLocked(Record{Op: JMkdir, Path: p, Time: t.UnixNano()})
 	return nil
 }
 
@@ -276,6 +280,7 @@ func (c *Catalog) Remove(p string) error {
 	}
 	delete(c.entries, p)
 	c.touchParentLocked(p)
+	c.logLocked(Record{Op: JRemove, Path: p})
 	return nil
 }
 
@@ -305,6 +310,7 @@ func (c *Catalog) Rmdir(p string) error {
 	}
 	delete(c.entries, p)
 	c.touchParentLocked(p)
+	c.logLocked(Record{Op: JRmdir, Path: p})
 	return nil
 }
 
@@ -344,21 +350,30 @@ func (c *Catalog) List(p string) ([]*Entry, error) {
 
 // SetSize records a data object's new size and bumps its mtime.
 func (c *Catalog) SetSize(p string, size int64) error {
-	return c.mutateFile(p, func(e *Entry) { e.Size = size; e.Modified = c.now() })
+	return c.mutateFile(p, func(e *Entry) *Record {
+		e.Size = size
+		e.Modified = c.now()
+		return &Record{Op: JSetSize, Size: size, Time: e.Modified.UnixNano()}
+	})
 }
 
 // GrowSize raises the recorded size to at least size (concurrent strided
 // writers from many cluster nodes race to extend the same file).
 func (c *Catalog) GrowSize(p string, size int64) error {
-	return c.mutateFile(p, func(e *Entry) {
-		if size > e.Size {
-			e.Size = size
-		}
+	return c.mutateFile(p, func(e *Entry) *Record {
 		e.Modified = c.now()
+		if size <= e.Size {
+			// No growth: don't journal every write of a busy file.
+			return nil
+		}
+		e.Size = size
+		return &Record{Op: JGrowSize, Size: size, Time: e.Modified.UnixNano()}
 	})
 }
 
-func (c *Catalog) mutateFile(p string, fn func(*Entry)) error {
+// mutateFile applies fn to the file entry at p under the lock; a non-nil
+// record returned by fn is journaled (its Path is filled in here).
+func (c *Catalog) mutateFile(p string, fn func(*Entry) *Record) error {
 	p, err := Normalize(p)
 	if err != nil {
 		return err
@@ -372,7 +387,10 @@ func (c *Catalog) mutateFile(p string, fn func(*Entry)) error {
 	if e.Type != TypeFile {
 		return ErrIsDir
 	}
-	fn(e)
+	if rec := fn(e); rec != nil {
+		rec.Path = p
+		c.logLocked(*rec)
+	}
 	return nil
 }
 
@@ -392,6 +410,7 @@ func (c *Catalog) SetAttr(p, key, value string) error {
 		e.Attrs = make(map[string]string)
 	}
 	e.Attrs[key] = value
+	c.logLocked(Record{Op: JSetAttr, Path: p, Attr: key, Value: value})
 	return nil
 }
 
@@ -425,7 +444,10 @@ func (c *Catalog) QueryAttr(key, value string) []string {
 
 // AddReplica records an additional physical copy of a data object.
 func (c *Catalog) AddReplica(p string, r Replica) error {
-	return c.mutateFile(p, func(e *Entry) { e.Replicas = append(e.Replicas, r) })
+	return c.mutateFile(p, func(e *Entry) *Record {
+		e.Replicas = append(e.Replicas, r)
+		return &Record{Op: JAddReplica, Resource: r.Resource, Key: r.PhysicalKey}
+	})
 }
 
 // Rename moves a data object to a new logical path (same resource).
@@ -457,6 +479,7 @@ func (c *Catalog) Rename(oldPath, newPath string) error {
 	e.Path = np
 	e.Modified = c.now()
 	c.entries[np] = e
+	c.logLocked(Record{Op: JRename, Path: op, Path2: np, Time: e.Modified.UnixNano()})
 	return nil
 }
 

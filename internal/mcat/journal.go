@@ -1,0 +1,391 @@
+package mcat
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements the MCAT mutation journal: an append-only log of
+// every committed namespace mutation, replayable on a fresh catalog to
+// reconstruct the logical namespace and replica map after a server crash.
+//
+// Design points:
+//
+//   - Records are self-contained (full paths, keys, sizes, absolute
+//     times), never deltas against journal position, so a tail of
+//     re-applied records after an imprecise crash cut converges: replay
+//     is idempotent and last-writer-wins.
+//   - The journal is appended while the catalog lock is held, so record
+//     order is exactly commit order — no reordering window between a
+//     mutation committing and its record landing.
+//   - Resource registrations are not journaled: the server re-registers
+//     its resources on startup (AddResource) before replaying, the same
+//     way it did on first boot.
+//   - CreateFile records carry the sequence number behind their physical
+//     key; replay restores the allocator high-water mark so keys minted
+//     after a restart never collide with pre-crash objects.
+
+// JournalOp identifies the kind of one journaled mutation.
+type JournalOp uint8
+
+// Journaled mutation kinds.
+const (
+	JMkdir JournalOp = iota + 1
+	JCreate
+	JRemove
+	JRmdir
+	JRename
+	JSetSize
+	JGrowSize
+	JSetAttr
+	JAddReplica
+)
+
+var jopNames = map[JournalOp]string{
+	JMkdir:      "mkdir",
+	JCreate:     "create",
+	JRemove:     "remove",
+	JRmdir:      "rmdir",
+	JRename:     "rename",
+	JSetSize:    "setsize",
+	JGrowSize:   "growsize",
+	JSetAttr:    "setattr",
+	JAddReplica: "replica",
+}
+
+var jopByName = func() map[string]JournalOp {
+	m := make(map[string]JournalOp, len(jopNames))
+	for op, n := range jopNames {
+		m[n] = op
+	}
+	return m
+}()
+
+func (op JournalOp) String() string {
+	if n, ok := jopNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("jop(%d)", uint8(op))
+}
+
+// Record is one journaled namespace mutation. Unused fields are zero.
+type Record struct {
+	Op       JournalOp
+	Path     string
+	Path2    string // rename destination
+	Resource string // create: primary resource; replica: replica resource
+	Key      string // physical key (create, replica)
+	Size     int64  // setsize / growsize
+	Seq      uint64 // create: allocator sequence behind Key
+	Time     int64  // mutation time, unix nanoseconds
+	Attr     string // setattr key
+	Value    string // setattr value
+}
+
+// Journal receives every committed catalog mutation, in commit order.
+// Append is called with the catalog lock held and must not block on the
+// catalog (or for long at all).
+type Journal interface {
+	Append(Record)
+}
+
+// MemJournal is an in-memory append-only Journal, shared across server
+// generations by the test cluster: the previous server's catalog wrote
+// it, the restarted server's catalog replays it.
+type MemJournal struct {
+	mu   sync.Mutex
+	recs []Record // guarded by mu
+}
+
+// NewMemJournal returns an empty journal.
+func NewMemJournal() *MemJournal { return &MemJournal{} }
+
+// Append implements Journal.
+func (j *MemJournal) Append(r Record) {
+	j.mu.Lock()
+	j.recs = append(j.recs, r)
+	j.mu.Unlock()
+}
+
+// Len reports the number of records.
+func (j *MemJournal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Records returns a snapshot copy of the log.
+func (j *MemJournal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.recs...)
+}
+
+// EncodeRecord appends the one-line text form of r to dst (including the
+// trailing newline). The format is versioned, line-oriented and
+// append-friendly:
+//
+//	v1 <op> t=<unixnano> path=<quoted> [path2=] [res=] [key=] [size=] [seq=] [attr=] [val=]
+//
+// String fields are Go-quoted; zero-valued fields are omitted.
+func EncodeRecord(dst []byte, r Record) []byte {
+	dst = append(dst, "v1 "...)
+	dst = append(dst, r.Op.String()...)
+	dst = append(dst, " t="...)
+	dst = strconv.AppendInt(dst, r.Time, 10)
+	appendQ := func(k, v string) {
+		if v != "" {
+			dst = append(dst, ' ')
+			dst = append(dst, k...)
+			dst = append(dst, '=')
+			dst = strconv.AppendQuote(dst, v)
+		}
+	}
+	appendQ("path", r.Path)
+	appendQ("path2", r.Path2)
+	appendQ("res", r.Resource)
+	appendQ("key", r.Key)
+	if r.Size != 0 {
+		dst = append(dst, " size="...)
+		dst = strconv.AppendInt(dst, r.Size, 10)
+	}
+	if r.Seq != 0 {
+		dst = append(dst, " seq="...)
+		dst = strconv.AppendUint(dst, r.Seq, 10)
+	}
+	appendQ("attr", r.Attr)
+	appendQ("val", r.Value)
+	return append(dst, '\n')
+}
+
+// DecodeRecord parses one line produced by EncodeRecord.
+func DecodeRecord(line string) (Record, error) {
+	var r Record
+	line = strings.TrimSuffix(line, "\n")
+	rest, ok := strings.CutPrefix(line, "v1 ")
+	if !ok {
+		return r, fmt.Errorf("mcat: journal line has unknown version: %q", line)
+	}
+	opName, rest, _ := strings.Cut(rest, " ")
+	r.Op, ok = jopByName[opName]
+	if !ok {
+		return r, fmt.Errorf("mcat: journal line has unknown op %q", opName)
+	}
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			break
+		}
+		key, after, ok := strings.Cut(rest, "=")
+		if !ok {
+			return r, fmt.Errorf("mcat: malformed journal field %q", rest)
+		}
+		var sval string
+		var err error
+		if strings.HasPrefix(after, `"`) {
+			sval, err = strconv.QuotedPrefix(after)
+			if err != nil {
+				return r, fmt.Errorf("mcat: malformed quoted field %s: %v", key, err)
+			}
+			rest = after[len(sval):]
+			sval, err = strconv.Unquote(sval)
+			if err != nil {
+				return r, fmt.Errorf("mcat: malformed quoted field %s: %v", key, err)
+			}
+		} else {
+			sval, rest, _ = strings.Cut(after, " ")
+			rest = " " + rest
+		}
+		switch key {
+		case "t":
+			r.Time, err = strconv.ParseInt(sval, 10, 64)
+		case "size":
+			r.Size, err = strconv.ParseInt(sval, 10, 64)
+		case "seq":
+			r.Seq, err = strconv.ParseUint(sval, 10, 64)
+		case "path":
+			r.Path = sval
+		case "path2":
+			r.Path2 = sval
+		case "res":
+			r.Resource = sval
+		case "key":
+			r.Key = sval
+		case "attr":
+			r.Attr = sval
+		case "val":
+			r.Value = sval
+		default:
+			// Unknown fields from a newer writer are skipped, not fatal.
+		}
+		if err != nil {
+			return r, fmt.Errorf("mcat: malformed journal field %s=%q: %v", key, sval, err)
+		}
+	}
+	return r, nil
+}
+
+// WriteTo serializes the journal in text form (e.g. to persist it).
+func (j *MemJournal) WriteTo(w io.Writer) (int64, error) {
+	var buf []byte
+	for _, r := range j.Records() {
+		buf = EncodeRecord(buf, r)
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadJournal parses a text-form journal back into records, tolerating a
+// torn final line (the crash case for a file-backed journal): a trailing
+// partial record is dropped, any other malformed line is an error.
+func ReadJournal(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		rec, err := DecodeRecord(line)
+		if err != nil {
+			if i == len(lines)-1 {
+				break // torn tail from a crash mid-append
+			}
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// SetJournal attaches a journal that will receive every subsequent
+// mutation. Attach after Replay (replayed records are not re-journaled
+// by Replay itself); detach with nil — the crash model for a killed
+// server whose catalog must stop reaching the surviving journal.
+func (c *Catalog) SetJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+}
+
+// Replay applies journal records to the catalog in order. Replay is
+// idempotent (re-applying a suffix converges) and last-writer-wins; it
+// restores the physical-key allocator high-water mark and entry
+// timestamps. Call it on a fresh catalog after registering resources and
+// before SetJournal.
+func (c *Catalog) Replay(recs []Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range recs {
+		c.applyLocked(r)
+	}
+}
+
+// applyLocked applies one record. Records are trusted (they were emitted
+// by a catalog that already validated the mutation), so application is
+// defensive rather than strict: missing ancestors are recreated, deletes
+// of absent entries are no-ops.
+func (c *Catalog) applyLocked(r Record) {
+	t := time.Unix(0, r.Time)
+	switch r.Op {
+	case JMkdir:
+		c.ensureDirLocked(r.Path, t)
+	case JCreate:
+		if r.Seq > c.seq {
+			c.seq = r.Seq
+		}
+		c.ensureDirLocked(parentOf(r.Path), t)
+		c.entries[r.Path] = &Entry{
+			Path:        r.Path,
+			Type:        TypeFile,
+			Created:     t,
+			Modified:    t,
+			Resource:    r.Resource,
+			PhysicalKey: r.Key,
+		}
+	case JRemove:
+		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
+			delete(c.entries, r.Path)
+		}
+	case JRmdir:
+		if e, ok := c.entries[r.Path]; ok && e.Type == TypeCollection {
+			delete(c.entries, r.Path)
+		}
+	case JRename:
+		e, ok := c.entries[r.Path]
+		if !ok {
+			return // already applied, or the source vanished later in the log
+		}
+		delete(c.entries, r.Path)
+		e.Path = r.Path2
+		e.Modified = t
+		c.entries[r.Path2] = e
+	case JSetSize:
+		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
+			e.Size = r.Size
+			e.Modified = t
+		}
+	case JGrowSize:
+		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
+			if r.Size > e.Size {
+				e.Size = r.Size
+			}
+			e.Modified = t
+		}
+	case JSetAttr:
+		if e, ok := c.entries[r.Path]; ok {
+			if e.Attrs == nil {
+				e.Attrs = make(map[string]string)
+			}
+			e.Attrs[r.Attr] = r.Value
+		}
+	case JAddReplica:
+		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
+			for _, rep := range e.Replicas {
+				if rep.Resource == r.Resource && rep.PhysicalKey == r.Key {
+					return // idempotent re-application
+				}
+			}
+			e.Replicas = append(e.Replicas, Replica{Resource: r.Resource, PhysicalKey: r.Key})
+		}
+	}
+}
+
+// ensureDirLocked materializes a collection and any missing ancestors.
+func (c *Catalog) ensureDirLocked(p string, t time.Time) {
+	if p == "" {
+		return
+	}
+	for q := p; q != "/"; q = parentOf(q) {
+		if _, ok := c.entries[q]; ok {
+			break
+		}
+		c.entries[q] = &Entry{Path: q, Type: TypeCollection, Created: t, Modified: t}
+	}
+}
+
+// logLocked appends a record to the attached journal, stamping the
+// mutation time. Callers hold c.mu, which is what serializes journal
+// order with commit order.
+func (c *Catalog) logLocked(r Record) {
+	//lint:allow guardedfield -- contract: only called with c.mu held
+	j := c.journal
+	if j == nil {
+		return
+	}
+	if r.Time == 0 {
+		r.Time = c.now().UnixNano()
+	}
+	j.Append(r)
+}
+
+// parentOf names the parent collection of a logical path.
+func parentOf(p string) string { return path.Dir(p) }

@@ -1,0 +1,273 @@
+package mcat
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// journaledCatalog is a catalog with a resource and an attached journal.
+func journaledCatalog() (*Catalog, *MemJournal) {
+	c := New()
+	c.RegisterResource(ResourceInfo{Name: "mem", Kind: "memory", Host: "t"})
+	j := NewMemJournal()
+	c.SetJournal(j)
+	return c, j
+}
+
+// replayInto rebuilds a fresh catalog from the journal, the way a
+// restarted server does: register resources, replay, attach.
+func replayInto(j *MemJournal) *Catalog {
+	c := New()
+	c.RegisterResource(ResourceInfo{Name: "mem", Kind: "memory", Host: "t"})
+	c.Replay(j.Records())
+	c.SetJournal(j)
+	return c
+}
+
+// mutateEverything drives one of each journaled mutation through c.
+func mutateEverything(t *testing.T, c *Catalog) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.Mkdir("/data"))
+	must(c.Mkdir("/data/run1"))
+	_, err := c.CreateFile("/data/run1/a", "mem")
+	must(err)
+	_, err = c.CreateFile("/data/run1/b", "mem")
+	must(err)
+	_, err = c.CreateFile("/data/doomed", "mem")
+	must(err)
+	must(c.SetSize("/data/run1/a", 100))
+	must(c.GrowSize("/data/run1/a", 4096))
+	must(c.GrowSize("/data/run1/a", 64)) // no growth: not journaled
+	must(c.SetAttr("/data/run1/a", "checksum", "abc123"))
+	must(c.SetAttr("/data/run1/a", "owner", `"quoted" user`))
+	must(c.AddReplica("/data/run1/a", Replica{Resource: "mem", PhysicalKey: "obj-rep"}))
+	must(c.Rename("/data/run1/b", "/data/run1/b2"))
+	must(c.Remove("/data/doomed"))
+	must(c.Mkdir("/data/empty"))
+	must(c.Rmdir("/data/empty"))
+}
+
+// entriesEqual compares the full logical state of two catalogs: paths,
+// types, sizes, keys, attributes and replicas.
+func entriesEqual(t *testing.T, want, got *Catalog) {
+	t.Helper()
+	dump := func(c *Catalog) map[string]Entry {
+		out := make(map[string]Entry)
+		var walk func(p string)
+		walk = func(p string) {
+			es, err := c.List(p)
+			if err != nil {
+				t.Fatalf("List(%s): %v", p, err)
+			}
+			for _, e := range es {
+				out[e.Path] = *e
+				if e.Type == TypeCollection {
+					walk(e.Path)
+				}
+			}
+		}
+		walk("/")
+		return out
+	}
+	w, g := dump(want), dump(got)
+	if len(w) != len(g) {
+		t.Fatalf("entry count: want %d, got %d\nwant: %v\ngot: %v", len(w), len(g), w, g)
+	}
+	for p, we := range w {
+		ge, ok := g[p]
+		if !ok {
+			t.Fatalf("replayed catalog missing %s", p)
+		}
+		we.Created, we.Modified = ge.Created, ge.Modified
+		we.Path = ge.Path
+		if !reflect.DeepEqual(we, ge) {
+			t.Errorf("%s:\nwant %+v\ngot  %+v", p, we, ge)
+		}
+	}
+}
+
+func TestJournalReplayRebuildsCatalog(t *testing.T) {
+	c, j := journaledCatalog()
+	mutateEverything(t, c)
+
+	c2 := replayInto(j)
+	entriesEqual(t, c, c2)
+
+	// Spot-check semantic content survived.
+	e, err := c2.Lookup("/data/run1/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size != 4096 {
+		t.Errorf("size = %d, want 4096", e.Size)
+	}
+	if e.Attrs["checksum"] != "abc123" || e.Attrs["owner"] != `"quoted" user` {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+	if len(e.Replicas) != 1 || e.Replicas[0].PhysicalKey != "obj-rep" {
+		t.Errorf("replicas = %v", e.Replicas)
+	}
+	if c2.Exists("/data/doomed") || c2.Exists("/data/empty") || c2.Exists("/data/run1/b") {
+		t.Error("removed entries resurrected by replay")
+	}
+	if !c2.Exists("/data/run1/b2") {
+		t.Error("rename target missing after replay")
+	}
+}
+
+func TestJournalReplayRestoresKeyAllocator(t *testing.T) {
+	c, j := journaledCatalog()
+	a, err := c.CreateFile("/a", "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.CreateFile("/b", "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := replayInto(j)
+	nf, err := c2.CreateFile("/c", "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.PhysicalKey == a.PhysicalKey || nf.PhysicalKey == b.PhysicalKey {
+		t.Fatalf("post-replay key %q collides with pre-crash keys %q/%q",
+			nf.PhysicalKey, a.PhysicalKey, b.PhysicalKey)
+	}
+}
+
+func TestJournalReplayIdempotent(t *testing.T) {
+	c, j := journaledCatalog()
+	mutateEverything(t, c)
+
+	// Replaying the whole log twice — a sloppy crash cut that re-applies
+	// a full prefix — converges to the same state.
+	c2 := New()
+	c2.RegisterResource(ResourceInfo{Name: "mem", Kind: "memory", Host: "t"})
+	c2.Replay(j.Records())
+	c2.Replay(j.Records())
+	entriesEqual(t, c, c2)
+
+	e, err := c2.Lookup("/data/run1/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Replicas) != 1 {
+		t.Fatalf("double replay duplicated replicas: %v", e.Replicas)
+	}
+}
+
+func TestJournalReplayNotReJournaled(t *testing.T) {
+	c, j := journaledCatalog()
+	mutateEverything(t, c)
+	before := j.Len()
+	replayInto(j)
+	if j.Len() != before {
+		t.Fatalf("replay grew the journal: %d -> %d", before, j.Len())
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: JMkdir, Path: "/data", Time: 12345},
+		{Op: JCreate, Path: "/data/a", Resource: "mem", Key: "obj-00000001", Seq: 1, Time: 99},
+		{Op: JRemove, Path: "/data/a", Time: 100},
+		{Op: JRename, Path: "/old name", Path2: `/new "quoted"`, Time: 101},
+		{Op: JSetSize, Path: "/data/a", Size: 1 << 40, Time: 102},
+		{Op: JGrowSize, Path: "/data/a", Size: -1, Time: 103},
+		{Op: JSetAttr, Path: "/data/a", Attr: "k v", Value: "line\nbreak", Time: 104},
+		{Op: JAddReplica, Path: "/data/a", Resource: "tape", Key: "obj@tape", Time: 105},
+	}
+	for _, r := range recs {
+		line := EncodeRecord(nil, r)
+		got, err := DecodeRecord(string(line))
+		if err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("round trip:\nwant %+v\ngot  %+v\nline %q", r, got, line)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"v2 mkdir t=1",               // unknown version
+		"v1 frobnicate t=1",          // unknown op
+		`v1 mkdir t=x path="/a"`,     // bad int
+		`v1 mkdir t=1 path="broken`,  // unterminated quote
+		`v1 mkdir t=1 malformedtail`, // field without =
+	} {
+		if _, err := DecodeRecord(line); err == nil {
+			t.Errorf("DecodeRecord(%q) accepted garbage", line)
+		}
+	}
+	// Unknown fields from a newer writer are tolerated.
+	if _, err := DecodeRecord(`v1 mkdir t=1 path="/a" future="x"`); err != nil {
+		t.Errorf("unknown field rejected: %v", err)
+	}
+}
+
+func TestJournalSerializationAndTornTail(t *testing.T) {
+	c, j := journaledCatalog()
+	mutateEverything(t, c)
+
+	var buf bytes.Buffer
+	if _, err := j.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, j.Records()) {
+		t.Fatal("text round trip changed records")
+	}
+
+	// A torn final line (crash mid-append) is dropped, not fatal.
+	torn := strings.TrimSuffix(buf.String(), "\n")
+	torn = torn[:len(torn)-3]
+	recs2, err := ReadJournal(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail: %v", err)
+	}
+	if len(recs2) != len(recs)-1 {
+		t.Fatalf("torn tail: %d records, want %d", len(recs2), len(recs)-1)
+	}
+
+	// A torn line in the middle is corruption, not a crash artifact.
+	mid := strings.Replace(buf.String(), "v1 setsize", "v# setsize", 1)
+	if _, err := ReadJournal(strings.NewReader(mid)); err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	}
+
+	// The replayed text-form journal rebuilds the same catalog.
+	c2 := New()
+	c2.RegisterResource(ResourceInfo{Name: "mem", Kind: "memory", Host: "t"})
+	c2.Replay(recs)
+	entriesEqual(t, c, c2)
+}
+
+func TestJournalDetachStopsAppends(t *testing.T) {
+	c, j := journaledCatalog()
+	if err := c.Mkdir("/pre"); err != nil {
+		t.Fatal(err)
+	}
+	n := j.Len()
+	c.SetJournal(nil) // the crash: a dead server journals nothing
+	if err := c.Mkdir("/post"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != n {
+		t.Fatalf("detached catalog still journaling: %d -> %d", n, j.Len())
+	}
+}

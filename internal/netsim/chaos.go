@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// This file is the deterministic chaos scheduler: a seeded generator of
+// fault timelines (connection kills, partitions, latency spikes, server
+// kill/restart pairs) and a runner that injects them against an Injector.
+// The same seed always yields the same schedule, so a chaos failure
+// reproduces from its seed alone; the runner's real-time sleeps go
+// through the clock funnel like everything else in the package.
+
+// FaultKind identifies one kind of scheduled fault event.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultKillConns resets every live connection of one node (RST).
+	FaultKillConns FaultKind = iota + 1
+	// FaultPartition cuts one node off for Dur: established connections
+	// reset, new dials fail until the window elapses.
+	FaultPartition
+	// FaultSpike sets the network-wide extra one-way latency to Extra
+	// (zero Extra clears a previous spike).
+	FaultSpike
+	// FaultServerKill crashes the server: all connections reset and the
+	// MCAT stops journaling (simulated process death).
+	FaultServerKill
+	// FaultServerRestart brings a fresh server up from the journal.
+	FaultServerRestart
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKillConns:
+		return "kill-conns"
+	case FaultPartition:
+		return "partition"
+	case FaultSpike:
+		return "latency-spike"
+	case FaultServerKill:
+		return "server-kill"
+	case FaultServerRestart:
+		return "server-restart"
+	}
+	return "fault(?)"
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	At    time.Duration // offset from schedule start
+	Kind  FaultKind
+	Node  int           // FaultKillConns, FaultPartition
+	Dur   time.Duration // FaultPartition window
+	Extra time.Duration // FaultSpike magnitude (0 = clear)
+}
+
+// Schedule is a fault timeline ordered by At.
+type Schedule []FaultEvent
+
+// Injector executes fault events against a system under test.
+// *Network implements the connection-level verbs; a cluster testbed
+// implements all five.
+type Injector interface {
+	KillConns(node int)
+	Partition(node int, d time.Duration)
+	LatencySpike(extra time.Duration)
+	KillServer()
+	RestartServer()
+}
+
+// ChaosConfig sizes a generated schedule. Counts of zero omit that fault
+// class entirely.
+type ChaosConfig struct {
+	Nodes   int           // cluster size faults are drawn over (min 1)
+	Horizon time.Duration // total span events are placed in (default 1s)
+
+	ConnKills int // connection resets at uniform times on random nodes
+
+	Partitions   int           // partition windows on random nodes
+	PartitionDur time.Duration // length of each window (default Horizon/10)
+
+	Spikes   int           // latency-spike windows (each gets a clear event)
+	SpikeMax time.Duration // spike magnitude drawn from (0, SpikeMax]
+	SpikeDur time.Duration // spike length (default Horizon/10)
+
+	ServerKills    int           // server kill+restart pairs, evenly spread
+	ServerDowntime time.Duration // gap between a kill and its restart (default Horizon/20)
+}
+
+// GenSchedule deterministically generates a fault schedule from a seed.
+// Every FaultServerKill is followed by its FaultServerRestart (downtime
+// windows never overlap another kill), so a schedule run to completion
+// always leaves the server up.
+func GenSchedule(seed int64, cfg ChaosConfig) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = time.Second
+	}
+	if cfg.PartitionDur <= 0 {
+		cfg.PartitionDur = cfg.Horizon / 10
+	}
+	if cfg.SpikeDur <= 0 {
+		cfg.SpikeDur = cfg.Horizon / 10
+	}
+	if cfg.ServerDowntime <= 0 {
+		cfg.ServerDowntime = cfg.Horizon / 20
+	}
+
+	var s Schedule
+	uniform := func(span time.Duration) time.Duration {
+		if span <= 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(span)))
+	}
+	for i := 0; i < cfg.ConnKills; i++ {
+		s = append(s, FaultEvent{At: uniform(cfg.Horizon),
+			Kind: FaultKillConns, Node: rng.Intn(cfg.Nodes)})
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		s = append(s, FaultEvent{At: uniform(cfg.Horizon - cfg.PartitionDur),
+			Kind: FaultPartition, Node: rng.Intn(cfg.Nodes), Dur: cfg.PartitionDur})
+	}
+	for i := 0; i < cfg.Spikes; i++ {
+		at := uniform(cfg.Horizon - cfg.SpikeDur)
+		extra := cfg.SpikeMax
+		if extra > 0 {
+			extra = time.Duration(1 + rng.Int63n(int64(cfg.SpikeMax)))
+		}
+		s = append(s, FaultEvent{At: at, Kind: FaultSpike, Extra: extra})
+		s = append(s, FaultEvent{At: at + cfg.SpikeDur, Kind: FaultSpike, Extra: 0})
+	}
+	// Server kills get one slot each so a downtime window never swallows
+	// the next kill; the restart always lands inside its own slot.
+	for i := 0; i < cfg.ServerKills; i++ {
+		slot := cfg.Horizon / time.Duration(cfg.ServerKills)
+		lo := time.Duration(i) * slot
+		span := slot - cfg.ServerDowntime
+		if span <= 0 {
+			span = slot / 2
+		}
+		at := lo + uniform(span)
+		s = append(s, FaultEvent{At: at, Kind: FaultServerKill})
+		s = append(s, FaultEvent{At: at + cfg.ServerDowntime, Kind: FaultServerRestart})
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}
+
+// Run plays the schedule against inj in real (simulator) time, sleeping
+// between events. It returns true when every event has fired, false when
+// stop closed first. Callers that abort a run early are responsible for
+// the system's final state (e.g. a server left killed); running to
+// completion always restarts the server (see GenSchedule).
+func (s Schedule) Run(stop <-chan struct{}, inj Injector) bool {
+	start := now()
+	for _, ev := range s {
+		if !sleepOrStop(ev.At-now().Sub(start), stop) {
+			return false
+		}
+		switch ev.Kind {
+		case FaultKillConns:
+			inj.KillConns(ev.Node)
+		case FaultPartition:
+			inj.Partition(ev.Node, ev.Dur)
+		case FaultSpike:
+			inj.LatencySpike(ev.Extra)
+		case FaultServerKill:
+			inj.KillServer()
+		case FaultServerRestart:
+			inj.RestartServer()
+		}
+	}
+	return true
+}

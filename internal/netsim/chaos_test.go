@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGenScheduleDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Nodes:       4,
+		Horizon:     time.Second,
+		ConnKills:   5,
+		Partitions:  2,
+		Spikes:      2,
+		SpikeMax:    10 * time.Millisecond,
+		ServerKills: 2,
+	}
+	a := GenSchedule(42, cfg)
+	b := GenSchedule(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	c := GenSchedule(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenScheduleShape(t *testing.T) {
+	cfg := ChaosConfig{
+		Nodes:       3,
+		Horizon:     time.Second,
+		ConnKills:   4,
+		Partitions:  3,
+		Spikes:      2,
+		SpikeMax:    5 * time.Millisecond,
+		ServerKills: 3,
+	}
+	s := GenSchedule(7, cfg)
+
+	counts := map[FaultKind]int{}
+	serverUp := true
+	for i, ev := range s {
+		counts[ev.Kind]++
+		if i > 0 && ev.At < s[i-1].At {
+			t.Fatalf("schedule not sorted at %d: %v after %v", i, ev.At, s[i-1].At)
+		}
+		if ev.At < 0 || ev.At > cfg.Horizon {
+			t.Fatalf("event %d outside horizon: %v", i, ev.At)
+		}
+		if ev.Node < 0 || ev.Node >= cfg.Nodes {
+			t.Fatalf("event %d targets node %d of %d", i, ev.Node, cfg.Nodes)
+		}
+		switch ev.Kind {
+		case FaultServerKill:
+			if !serverUp {
+				t.Fatalf("event %d kills an already-killed server", i)
+			}
+			serverUp = false
+		case FaultServerRestart:
+			if serverUp {
+				t.Fatalf("event %d restarts a running server", i)
+			}
+			serverUp = true
+		}
+	}
+	if !serverUp {
+		t.Fatal("schedule ends with the server down")
+	}
+	if counts[FaultKillConns] != cfg.ConnKills {
+		t.Errorf("conn kills = %d, want %d", counts[FaultKillConns], cfg.ConnKills)
+	}
+	if counts[FaultPartition] != cfg.Partitions {
+		t.Errorf("partitions = %d, want %d", counts[FaultPartition], cfg.Partitions)
+	}
+	// Every spike window carries a set and a clear event.
+	if counts[FaultSpike] != 2*cfg.Spikes {
+		t.Errorf("spike events = %d, want %d", counts[FaultSpike], 2*cfg.Spikes)
+	}
+	if counts[FaultServerKill] != cfg.ServerKills ||
+		counts[FaultServerRestart] != cfg.ServerKills {
+		t.Errorf("server kill/restart = %d/%d, want %d each",
+			counts[FaultServerKill], counts[FaultServerRestart], cfg.ServerKills)
+	}
+}
+
+// recordingInjector logs every verb invocation.
+type recordingInjector struct {
+	mu    sync.Mutex
+	verbs []string
+}
+
+func (r *recordingInjector) log(v string) {
+	r.mu.Lock()
+	r.verbs = append(r.verbs, v)
+	r.mu.Unlock()
+}
+
+func (r *recordingInjector) KillConns(node int)           { r.log("kill-conns") }
+func (r *recordingInjector) Partition(int, time.Duration) { r.log("partition") }
+func (r *recordingInjector) LatencySpike(e time.Duration) { r.log("spike") }
+func (r *recordingInjector) KillServer()                  { r.log("server-kill") }
+func (r *recordingInjector) RestartServer()               { r.log("server-restart") }
+
+func TestScheduleRunFiresEveryEvent(t *testing.T) {
+	s := Schedule{
+		{At: 0, Kind: FaultKillConns},
+		{At: 5 * time.Millisecond, Kind: FaultSpike, Extra: time.Millisecond},
+		{At: 10 * time.Millisecond, Kind: FaultServerKill},
+		{At: 15 * time.Millisecond, Kind: FaultServerRestart},
+		{At: 20 * time.Millisecond, Kind: FaultPartition, Dur: time.Millisecond},
+	}
+	inj := &recordingInjector{}
+	stop := make(chan struct{})
+	if !s.Run(stop, inj) {
+		t.Fatal("Run reported early stop with no stop signal")
+	}
+	want := []string{"kill-conns", "spike", "server-kill", "server-restart", "partition"}
+	if !reflect.DeepEqual(inj.verbs, want) {
+		t.Fatalf("verbs = %v, want %v", inj.verbs, want)
+	}
+}
+
+func TestScheduleRunStopsEarly(t *testing.T) {
+	s := Schedule{
+		{At: 0, Kind: FaultKillConns},
+		{At: time.Hour, Kind: FaultServerKill}, // must never fire
+	}
+	inj := &recordingInjector{}
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- s.Run(stop, inj) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case completed := <-done:
+		if completed {
+			t.Fatal("stopped run reported completion")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run ignored stop")
+	}
+	if !reflect.DeepEqual(inj.verbs, []string{"kill-conns"}) {
+		t.Fatalf("verbs = %v, want only kill-conns", inj.verbs)
+	}
+}
+
+func TestKillConnsTargetsOneNode(t *testing.T) {
+	n := NewNetwork(Loopback(), 2)
+	c0, s0 := n.Dial(0)
+	c1, _ := n.Dial(1)
+	defer c0.Close()
+	defer c1.Close()
+	defer s0.Close()
+
+	if n.Conns() != 2 {
+		t.Fatalf("conns = %d, want 2", n.Conns())
+	}
+	n.KillConns(0)
+	if _, err := c0.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("node 0 conn after KillConns(0): %v, want ErrReset", err)
+	}
+	// Node 1's connection survives.
+	go func() { c1.Write([]byte("x")) }()
+	if n.Conns() != 1 {
+		t.Fatalf("conns after kill = %d, want 1", n.Conns())
+	}
+}
+
+func TestPartitionWindowBlocksDials(t *testing.T) {
+	n := NewNetwork(Loopback(), 2)
+	c0, _ := n.Dial(0)
+
+	n.Partition(0, 30*time.Millisecond)
+	// Established connections reset at once.
+	if _, err := c0.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("read during partition = %v, want ErrReset", err)
+	}
+	if err := n.DialFault(0); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("DialFault during window = %v, want ErrPartitioned", err)
+	}
+	// Other nodes are unaffected.
+	if err := n.DialFault(1); err != nil {
+		t.Fatalf("DialFault on healthy node = %v", err)
+	}
+	// The window heals on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for n.DialFault(0) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLatencySpikeDelaysDelivery(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	c, s := n.Dial(0)
+	defer c.Close()
+	defer s.Close()
+
+	echo := func() time.Duration {
+		start := time.Now()
+		go c.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := s.Read(buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return time.Since(start)
+	}
+	base := echo()
+	n.SetLatencySpike(50 * time.Millisecond)
+	spiked := echo()
+	if spiked < 40*time.Millisecond {
+		t.Fatalf("spiked delivery took %v (baseline %v), want >= 40ms", spiked, base)
+	}
+	n.SetLatencySpike(0)
+	cleared := echo()
+	if cleared > 30*time.Millisecond {
+		t.Fatalf("cleared spike still delays delivery: %v", cleared)
+	}
+}

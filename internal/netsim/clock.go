@@ -20,3 +20,25 @@ func sleep(d time.Duration) {
 		time.Sleep(d)
 	}
 }
+
+// sleepOrStop pauses for d but returns early, reporting false, when stop
+// is closed. The chaos schedule runner uses it so a finished workload can
+// cancel pending fault events without waiting out the whole horizon.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

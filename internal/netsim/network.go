@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"semplar/internal/trace"
 )
@@ -26,8 +29,14 @@ type Network struct {
 	icByNode []*Limiter // MPI interconnect injection per node
 
 	mu        sync.Mutex
-	conns     int   // guarded by mu
-	jitterSeq int64 // guarded by mu
+	conns     int               // guarded by mu
+	live      map[*Conn]int     // guarded by mu; client endpoint -> dialing node
+	partUntil map[int]time.Time // guarded by mu; node -> partition end
+	jitterSeq int64             // guarded by mu
+
+	// spike is the extra one-way latency (nanoseconds) currently injected
+	// on every connection; see SetLatencySpike.
+	spike atomic.Int64
 
 	tracer *trace.Tracer // guarded by mu; nil = tracing off
 }
@@ -45,7 +54,7 @@ func NewNetwork(prof Profile, nodes int) *Network {
 	if nodes < 1 {
 		nodes = 1
 	}
-	n := &Network{prof: prof, nodes: nodes}
+	n := &Network{prof: prof, nodes: nodes, live: make(map[*Conn]int)}
 	if prof.PathUpRate > 0 {
 		n.pathUp = NewLimiter(prof.PathUpRate)
 	}
@@ -117,8 +126,11 @@ func (n *Network) Dial(node int) (client, server net.Conn) {
 	down := compact(downStream, n.srvDown, n.pathDown, n.natDown, bus)
 	c, s := Pipe(n.prof.OneWay, up, down)
 	c.name = fmt.Sprintf("%s/node%d", n.prof.Name, node)
+	c.spike = &n.spike
+	s.spike = &n.spike
 	n.mu.Lock()
 	n.conns++
+	n.live[c] = node
 	tr := n.tracer
 	if n.prof.LatencyJitter > 0 {
 		// Independent per-direction jitter sources with deterministic
@@ -139,11 +151,84 @@ func (n *Network) Dial(node int) (client, server net.Conn) {
 	c.OnClose(func() {
 		n.mu.Lock()
 		n.conns--
+		delete(n.live, c)
 		n.mu.Unlock()
 		tr.Gauge("netsim.conns", -1)
 	})
 	return c, s
 }
+
+// ErrPartitioned is the transient dial error for a partitioned node.
+var ErrPartitioned = errors.New("netsim: node partitioned")
+
+// DialFault reports whether node may dial right now: nil normally, a
+// transient ErrPartitioned while the node's partition window is open.
+// Dialers consult it before Dial so a partition blocks new connections as
+// well as resetting established ones.
+func (n *Network) DialFault(node int) error {
+	node = n.clamp(node)
+	n.mu.Lock()
+	until, ok := n.partUntil[node]
+	n.mu.Unlock()
+	if ok && now().Before(until) {
+		return fmt.Errorf("%w: node %d", ErrPartitioned, node)
+	}
+	return nil
+}
+
+// KillConns resets (RST, not EOF) every live connection dialed from node.
+func (n *Network) KillConns(node int) {
+	node = n.clamp(node)
+	var victims []*Conn
+	n.mu.Lock()
+	for c, nd := range n.live {
+		if nd == node {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	// Kill outside the lock: it runs the OnClose hook, which re-locks mu.
+	for _, c := range victims {
+		c.Kill()
+	}
+}
+
+// KillAll resets every live connection — the server-crash fault: from the
+// clients' point of view every established stream dies at once.
+func (n *Network) KillAll() {
+	var victims []*Conn
+	n.mu.Lock()
+	for c := range n.live {
+		victims = append(victims, c)
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Kill()
+	}
+}
+
+// Partition cuts node off for the duration d: its established connections
+// are reset now and DialFault fails until the window elapses.
+func (n *Network) Partition(node int, d time.Duration) {
+	node = n.clamp(node)
+	n.mu.Lock()
+	if n.partUntil == nil {
+		n.partUntil = make(map[int]time.Time)
+	}
+	n.partUntil[node] = now().Add(d)
+	n.mu.Unlock()
+	n.KillConns(node)
+}
+
+// SetLatencySpike adds extra one-way latency to every delivery on every
+// connection (current and future) until cleared with 0 — a congestion
+// event or routing flap on the shared WAN path.
+func (n *Network) SetLatencySpike(extra time.Duration) {
+	n.spike.Store(int64(extra))
+}
+
+// LatencySpike implements the chaos Injector verb for SetLatencySpike.
+func (n *Network) LatencySpike(extra time.Duration) { n.SetLatencySpike(extra) }
 
 func compact(ls ...interface{}) []Stage {
 	var out []Stage

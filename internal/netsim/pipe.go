@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"semplar/internal/trace"
@@ -133,6 +134,12 @@ type Conn struct {
 	lims    []Stage // serialization stages on the send path
 	jitter  *Jitter // optional extra delivery delay
 
+	// spike, when non-nil, points at a shared extra one-way latency in
+	// nanoseconds added to every delivery (a routing flap / congestion
+	// event injected by the chaos scheduler). Immutable after Dial; the
+	// pointed-at value is atomic.
+	spike *atomic.Int64
+
 	faultMu     sync.Mutex
 	faultArmed  bool          // guarded by faultMu
 	faultBudget int           // guarded by faultMu
@@ -194,7 +201,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		data := make([]byte, n)
 		copy(data, p[:n])
-		if !c.peer.push(data, now().Add(c.latency+c.jitter.delay())) {
+		oneWay := c.latency + c.jitter.delay()
+		if c.spike != nil {
+			oneWay += time.Duration(c.spike.Load())
+		}
+		if !c.peer.push(data, now().Add(oneWay)) {
 			return total, ErrClosed
 		}
 		c.tr.Count(c.txCtr, int64(n))

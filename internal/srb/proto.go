@@ -135,6 +135,7 @@ const (
 	statusNotEmpty
 	statusIO
 	statusPerm
+	statusBusy
 )
 
 // Errors corresponding to the wire status codes.
@@ -149,6 +150,13 @@ var (
 	ErrIO        = errors.New("srb: i/o error")
 	ErrPerm      = errors.New("srb: permission denied")
 	ErrProtocol  = errors.New("srb: protocol error")
+
+	// ErrServerBusy is the overload-shedding reply: the server is healthy
+	// but at its connection or in-flight-op limit (or draining for
+	// shutdown) and refused the request without starting it. Unlike every
+	// other status error it is transient — srb.Retryable classifies it as
+	// retryable, so the client's backoff absorbs shed load transparently.
+	ErrServerBusy = errors.New("srb: server busy")
 )
 
 func statusToErr(st int32, msg string) error {
@@ -172,6 +180,8 @@ func statusToErr(st int32, msg string) error {
 		base = ErrNotEmpty
 	case statusPerm:
 		base = ErrPerm
+	case statusBusy:
+		base = ErrServerBusy
 	default:
 		base = ErrIO
 	}
@@ -201,6 +211,8 @@ func errToStatus(err error) (int32, string) {
 		return statusNotEmpty, ""
 	case errors.Is(err, ErrPerm):
 		return statusPerm, ""
+	case errors.Is(err, ErrServerBusy):
+		return statusBusy, ""
 	default:
 		return statusIO, err.Error()
 	}

@@ -108,6 +108,13 @@ func Retryable(err error) bool {
 	if err == nil {
 		return false
 	}
+	// Overload shedding is the one status error that is transient by
+	// design: the server refused the request without starting it, so a
+	// backed-off replay is always safe — and, unlike transport errors, it
+	// does not require a fresh connection.
+	if errors.Is(err, ErrServerBusy) {
+		return true
+	}
 	for _, terminal := range []error{
 		ErrNotFound, ErrExists, ErrIsDir, ErrNotDir, ErrBadHandle,
 		ErrInvalid, ErrNotEmpty, ErrPerm, ErrIO, ErrProtocol,

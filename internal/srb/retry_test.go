@@ -23,6 +23,9 @@ func TestRetryableClassification(t *testing.T) {
 		// Terminal: the server made a definitive statement.
 		{ErrNotFound, false},
 		{ErrExists, false},
+		{ErrIsDir, false},
+		{ErrNotDir, false},
+		{ErrNotEmpty, false},
 		{ErrPerm, false},
 		{ErrInvalid, false},
 		{ErrBadHandle, false},
@@ -32,12 +35,16 @@ func TestRetryableClassification(t *testing.T) {
 		// Semantic results, not transport failures.
 		{io.EOF, false},
 		{io.ErrShortWrite, false},
+		// Overload shedding: the one transient status error.
+		{ErrServerBusy, true},
+		{fmt.Errorf("wrapped: %w", ErrServerBusy), true},
 		// Transient: transport, timeout, closed conn, unknown net errors.
 		{ErrTransport, true},
 		{ErrTimeout, true},
 		{ErrConnClosed, true},
 		{fmt.Errorf("%w: broken pipe", ErrTransport), true},
 		{netsim.ErrClosed, true},
+		{netsim.ErrReset, true},
 		{netsim.ErrDialFault, true},
 		{errors.New("connection reset by peer"), true},
 	}

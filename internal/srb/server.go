@@ -2,8 +2,10 @@ package srb
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -17,6 +19,11 @@ import (
 	"semplar/internal/trace"
 )
 
+// ErrServerClosed is returned by Serve after Shutdown begins: the listener
+// stopped because the server was asked to, not because it failed
+// (net/http.ErrServerClosed style).
+var ErrServerClosed = errors.New("srb: server closed")
+
 // ServerStats counts server activity; all fields are read with Snapshot.
 type ServerStats struct {
 	Connections   int64
@@ -25,6 +32,34 @@ type ServerStats struct {
 	BytesWritten  int64 // data committed from clients
 	ActiveConns   int64
 	ProtocolError int64
+	OpenHandles   int64 // file handles currently open across all sessions
+	Shed          int64 // requests refused with ErrServerBusy (overload or drain)
+	Drained       int64 // in-flight ops completed during Shutdown before their conn closed
+}
+
+// Limits bounds server admission. Zero values mean unlimited. Past a
+// limit the server sheds work with ErrServerBusy instead of queueing it,
+// relying on the client's retry/backoff to spread the load out in time.
+// Set via SetLimits before serving.
+type Limits struct {
+	// MaxConns caps concurrently served connections. A connection over
+	// the cap has its first request answered with ErrServerBusy and is
+	// closed, which surfaces as a transient dial error client-side.
+	MaxConns int
+	// MaxInflight caps requests executing at once across all
+	// connections. A request over the cap is answered with ErrServerBusy
+	// but the connection stays open: busy is a status error, not a
+	// transport error, so the client retries on the same connection.
+	MaxInflight int
+}
+
+// connState is the server's drain-time view of one connection. busy flips
+// around each dispatch under Server.connMu so Shutdown can tell idle
+// connections (closed immediately) from ones mid-request (left to finish
+// their op and exit on their own).
+type connState struct {
+	conn net.Conn
+	busy bool // protected by Server.connMu
 }
 
 // Server is the SRB daemon: it owns an MCAT catalog and one or more storage
@@ -38,10 +73,23 @@ type Server struct {
 
 	handleSeq int64
 
+	limits   Limits       // immutable after first Serve/ServeConn; see SetLimits
+	inflight atomic.Int64 // requests currently dispatching
+
+	connMu    sync.Mutex
+	listeners map[net.Listener]struct{} // guarded by connMu
+	conns     map[net.Conn]*connState   // guarded by connMu
+	draining  bool                      // guarded by connMu
+	drainDone chan struct{}             // guarded by connMu; closed when the last conn exits
+
 	stats ServerStats
 
 	tracer atomic.Pointer[trace.Tracer]
 }
+
+// SetLimits configures admission control. Call it before serving: the
+// limits are read without synchronization on the request path.
+func (s *Server) SetLimits(l Limits) { s.limits = l }
 
 // SetTracer records every dispatched request as a span on the server
 // process row of tr (one trace lane per connection) and feeds the
@@ -96,28 +144,225 @@ func (s *Server) Stats() ServerStats {
 		BytesWritten:  atomic.LoadInt64(&s.stats.BytesWritten),
 		ActiveConns:   atomic.LoadInt64(&s.stats.ActiveConns),
 		ProtocolError: atomic.LoadInt64(&s.stats.ProtocolError),
+		OpenHandles:   atomic.LoadInt64(&s.stats.OpenHandles),
+		Shed:          atomic.LoadInt64(&s.stats.Shed),
+		Drained:       atomic.LoadInt64(&s.stats.Drained),
 	}
 }
 
 // Serve accepts connections from l until it is closed, spawning a goroutine
-// per connection.
+// per connection. It returns ErrServerClosed if the listener stopped
+// because of Shutdown, and the listener's own error otherwise.
 func (s *Server) Serve(l net.Listener) error {
+	if !s.trackListener(l) {
+		return ErrServerClosed
+	}
+	defer s.untrackListener(l)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
 			return err
 		}
 		go s.ServeConn(conn)
 	}
 }
 
-// ServeConn services one client connection until EOF or protocol error.
-// It may be called directly with simulated connections.
+// Shutdown drains the server net/http-style: it stops accepting (Serve
+// returns ErrServerClosed), closes idle connections, sheds any request
+// that has not started dispatching with ErrServerBusy, and waits for
+// in-flight operations to finish — each busy connection completes its
+// current op, gets its response, and closes. If ctx expires first, the
+// remaining connections are closed abruptly and ctx.Err() is returned.
+// Shutdown may be called concurrently and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.connMu.Lock()
+	s.draining = true
+	if s.drainDone == nil {
+		s.drainDone = make(chan struct{})
+		if len(s.conns) == 0 {
+			close(s.drainDone)
+		}
+	}
+	done := s.drainDone
+	for l := range s.listeners {
+		//lint:allow errdrop -- listener teardown during drain; Serve reports ErrServerClosed
+		l.Close()
+	}
+	s.listeners = nil
+	// Close idle connections now; busy ones finish their in-flight op,
+	// receive their response, and exit (ServeConn checks draining after
+	// every response).
+	for _, cs := range s.conns {
+		if !cs.busy {
+			//lint:allow errdrop -- closing an idle conn during drain; the peer sees EOF
+			cs.conn.Close()
+		}
+	}
+	s.connMu.Unlock()
+
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for _, cs := range s.conns {
+			//lint:allow errdrop -- forced teardown past the drain deadline
+			cs.conn.Close()
+		}
+		s.connMu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// trackListener registers a serving listener; it refuses once draining.
+func (s *Server) trackListener(l net.Listener) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining {
+		return false
+	}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackListener(l net.Listener) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.listeners, l)
+}
+
+func (s *Server) isDraining() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.draining
+}
+
+// trackConn admits a connection, refusing when draining or over MaxConns.
+func (s *Server) trackConn(conn net.Conn) (*connState, bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
+		return nil, false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]*connState)
+	}
+	cs := &connState{conn: conn}
+	s.conns[conn] = cs
+	return cs, true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, conn)
+	// The last connection out completes the drain. drainDone cannot have
+	// been closed already: Shutdown only closes it when no connections
+	// were tracked, and no new ones are admitted while draining.
+	if s.draining && len(s.conns) == 0 && s.drainDone != nil {
+		close(s.drainDone)
+	}
+}
+
+// beginOp marks cs busy for the drain sweep; it refuses (false) once
+// draining so the request is shed rather than started.
+func (s *Server) beginOp(cs *connState) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining {
+		return false
+	}
+	cs.busy = true
+	return true
+}
+
+// endOp clears busy and reports whether the server began draining while
+// the op ran (the connection should close after its response is flushed).
+func (s *Server) endOp(cs *connState) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	cs.busy = false
+	return s.draining
+}
+
+// acquireOp admits one request under the MaxInflight cap.
+func (s *Server) acquireOp() bool {
+	max := int64(s.limits.MaxInflight)
+	if max <= 0 {
+		s.inflight.Add(1)
+		return true
+	}
+	for {
+		cur := s.inflight.Load()
+		if cur >= max {
+			return false
+		}
+		if s.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (s *Server) releaseOp() { s.inflight.Add(-1) }
+
+// countShed records one refused request. The trace counter is silent and
+// only touched on the fault path, so fault-free golden traces are stable.
+func (s *Server) countShed() {
+	atomic.AddInt64(&s.stats.Shed, 1)
+	s.tracer.Load().Count("srb.server.shed_ops", 1)
+}
+
+func (s *Server) countDrained() {
+	atomic.AddInt64(&s.stats.Drained, 1)
+	s.tracer.Load().Count("srb.server.drained_ops", 1)
+}
+
+// shedConn answers exactly one request with ErrServerBusy and hangs up:
+// the admission-refused path for connections over MaxConns or arriving
+// during drain. The client sees the busy error on its dial handshake;
+// Retryable classifies it as transient, so DialRetry backs off and tries
+// again (against the restarted or less-loaded server).
+func (s *Server) shedConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 4<<10)
+	bw := bufio.NewWriterSize(conn, 4<<10)
+	req, err := readRequest(br)
+	if err != nil {
+		return
+	}
+	s.countShed()
+	resp := errResp(ErrServerBusy)
+	resp.seq = req.seq
+	if err := writeResponse(bw, resp); err != nil {
+		return
+	}
+	//lint:allow errdrop -- the refused conn closes right after; the flush error has no consumer
+	bw.Flush()
+}
+
+// ServeConn services one client connection until EOF, protocol error,
+// drain or admission refusal. It may be called directly with simulated
+// connections.
 func (s *Server) ServeConn(conn net.Conn) {
 	atomic.AddInt64(&s.stats.Connections, 1)
 	atomic.AddInt64(&s.stats.ActiveConns, 1)
 	defer atomic.AddInt64(&s.stats.ActiveConns, -1)
 	defer conn.Close()
+
+	cs, admitted := s.trackConn(conn)
+	if !admitted {
+		s.shedConn(conn)
+		return
+	}
+	defer s.untrackConn(conn)
 
 	sess := &session{
 		srv:   s,
@@ -133,26 +378,58 @@ func (s *Server) ServeConn(conn net.Conn) {
 	for {
 		req, err := readRequest(br)
 		if err != nil {
-			if err != io.EOF {
+			// Reads severed by Shutdown's idle-conn sweep are expected,
+			// not protocol violations.
+			if err != io.EOF && !s.isDraining() {
 				atomic.AddInt64(&s.stats.ProtocolError, 1)
 			}
 			return
 		}
 		atomic.AddInt64(&s.stats.Requests, 1)
-		// The dispatch span closes before the response is written, so its
-		// events land while the client is still blocked on the reply —
-		// server events nest deterministically inside the client's wire
-		// span under a virtual clock.
-		sp := tr.BeginServer("server", opName(req.op), lane)
-		resp := sess.dispatch(req)
-		resp.seq = req.seq
-		if tr.Enabled() {
-			tr.Observe("srb.server.dispatch", sp.End())
+		if !s.beginOp(cs) {
+			// Draining: shed the request and hang up; the client's retry
+			// lands on whatever replaces this server.
+			s.countShed()
+			resp := errResp(ErrServerBusy)
+			resp.seq = req.seq
+			if writeResponse(bw, resp) == nil {
+				//lint:allow errdrop -- the conn closes right after; the flush error has no consumer
+				bw.Flush()
+			}
+			return
 		}
+		var resp *response
+		if !s.acquireOp() {
+			// Over the in-flight cap: refuse without starting the op but
+			// keep the connection — busy is a status error, not a transport
+			// error, so the client retries on this same connection after
+			// backing off.
+			s.countShed()
+			resp = errResp(ErrServerBusy)
+		} else {
+			// The dispatch span closes before the response is written, so its
+			// events land while the client is still blocked on the reply —
+			// server events nest deterministically inside the client's wire
+			// span under a virtual clock.
+			sp := tr.BeginServer("server", opName(req.op), lane)
+			resp = sess.dispatch(req)
+			if tr.Enabled() {
+				tr.Observe("srb.server.dispatch", sp.End())
+			}
+			s.releaseOp()
+		}
+		resp.seq = req.seq
 		if err := writeResponse(bw, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
+			return
+		}
+		// The response is on the wire before busy clears, so the drain
+		// sweep can never close this conn between dispatch completion and
+		// the client receiving its reply.
+		if s.endOp(cs) {
+			s.countDrained()
 			return
 		}
 	}
@@ -172,10 +449,14 @@ type session struct {
 	user  string
 }
 
+// closeAll releases every handle the client left open — the abrupt-
+// disconnect path. Handles closed normally were already removed from the
+// map by close(), so each object is closed exactly once either way.
 func (ss *session) closeAll() {
 	for _, f := range ss.files {
 		//lint:allow errdrop -- session teardown after disconnect; no client left to report to
 		f.obj.Close()
+		atomic.AddInt64(&ss.srv.stats.OpenHandles, -1)
 	}
 	ss.files = nil
 }
@@ -348,6 +629,7 @@ func (ss *session) open(req *request) *response {
 		}
 	}
 	ss.files[h] = of
+	atomic.AddInt64(&s.stats.OpenHandles, 1)
 	return &response{value: int64(h)}
 }
 
@@ -365,6 +647,7 @@ func (ss *session) close(req *request) *response {
 		return er
 	}
 	delete(ss.files, req.handle)
+	atomic.AddInt64(&ss.srv.stats.OpenHandles, -1)
 	if err := f.obj.Close(); err != nil {
 		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
 	}

@@ -542,7 +542,7 @@ func TestResponseSeqMismatch(t *testing.T) {
 func TestStatusErrorMapping(t *testing.T) {
 	// Every status code round-trips err -> status -> err.
 	errs := []error{ErrNotFound, ErrExists, ErrIsDir, ErrNotDir,
-		ErrBadHandle, ErrInvalid, ErrNotEmpty, ErrPerm}
+		ErrBadHandle, ErrInvalid, ErrNotEmpty, ErrPerm, ErrServerBusy}
 	for _, e := range errs {
 		st, msg := errToStatus(e)
 		back := statusToErr(st, msg)
