@@ -9,7 +9,7 @@ RACE_PKGS = ./...
 # -fuzz <name> ./internal/srb` with no time limit).
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race lint fuzz-short chaos-short chaos-long bench
+.PHONY: check vet build test race lint fuzz-short chaos-short chaos-long bench bench-smoke
 
 check: vet build test race lint fuzz-short chaos-short
 
@@ -39,6 +39,8 @@ fuzz-short:
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadRequest -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadResponse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeFileInfo -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzWritevRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeWritev -fuzztime=$(FUZZTIME)
 
 # Seeded chaos smoke: a full workload under connection kills, partitions,
 # latency spikes and a server crash/restart, with end-to-end checksum
@@ -51,5 +53,17 @@ chaos-short:
 chaos-long:
 	$(GO) test -tags chaoslong ./internal/chaos -run TestChaosLong -count=1 -v
 
+# Wire hot-path snapshot (pipelining, write coalescing, allocs/op): writes
+# $(BENCH_SNAP) for committing alongside the change it measures, then runs
+# the paper-figure benchmarks.
+BENCH_SNAP ?= BENCH_6.json
+
 bench:
+	$(GO) run ./cmd/benchsnap -out $(BENCH_SNAP)
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Tiny benchsnap run (result discarded): proves the measurement harness
+# still works and that pipelining has not regressed below the serialized
+# baseline. Wired into CI.
+bench-smoke:
+	$(GO) run ./cmd/benchsnap -quick -out -

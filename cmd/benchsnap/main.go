@@ -1,0 +1,278 @@
+// Command benchsnap measures the wire hot path and writes a JSON snapshot
+// suitable for committing next to the code it measures (BENCH_<n>.json).
+//
+// It answers three questions about one SRB connection under simulated
+// network latency:
+//
+//  1. What does pipelining buy? The same batch of small writes is issued
+//     strictly serialized (await each response before the next request, the
+//     pre-pipelining client behavior) and then with many tagged requests in
+//     flight. Latency-bound workloads should approach depth× improvement.
+//  2. What does write coalescing buy? A striped SRBFS file is written with
+//     vectored-write batching on and off (SRBFSConfig.DisableCoalesce).
+//  3. What does buffer pooling buy? Heap allocations per op on the
+//     small-op hot path, measured with runtime.MemStats.
+//
+// Usage:
+//
+//	benchsnap [-out BENCH_6.json] [-ops 400] [-size 512] [-depth 16]
+//	          [-latency 500us] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/core"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	WallNS      int64   `json:"wall_ns"`
+	NSPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Bench   string   `json:"bench"`
+	Tool    string   `json:"tool"`
+	Go      string   `json:"go"`
+	Config  config   `json:"config"`
+	Results []result `json:"results"`
+	Derived derived  `json:"derived"`
+}
+
+type config struct {
+	Ops         int   `json:"ops"`
+	OpBytes     int   `json:"op_bytes"`
+	OneWayLatNS int64 `json:"one_way_latency_ns"`
+	Depth       int   `json:"pipeline_depth"`
+	CoalesceOps int   `json:"coalesce_ops"`
+	StripeBytes int   `json:"stripe_bytes"`
+	Streams     int   `json:"streams"`
+}
+
+type derived struct {
+	// PipelineSpeedup is serialized wall time over pipelined wall time for
+	// the same op batch on one connection.
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+	// CoalesceSpeedup is the uncoalesced striped write wall time over the
+	// coalesced one.
+	CoalesceSpeedup float64 `json:"coalesce_speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "snapshot output path (- for stdout)")
+	ops := flag.Int("ops", 400, "small ops per scenario")
+	size := flag.Int("size", 512, "bytes per small op")
+	depth := flag.Int("depth", 16, "concurrent in-flight ops in the pipelined scenario")
+	latency := flag.Duration("latency", 500*time.Microsecond, "one-way simulated latency")
+	quick := flag.Bool("quick", false, "smoke sizes: a few ops, enough to exercise every path")
+	flag.Parse()
+
+	if *quick {
+		*ops = 40
+	}
+	coalesceOps := *ops
+	stripe := 4 << 10
+	streams := 2
+
+	cfg := config{
+		Ops: *ops, OpBytes: *size, OneWayLatNS: int64(*latency), Depth: *depth,
+		CoalesceOps: coalesceOps, StripeBytes: stripe, Streams: streams,
+	}
+
+	serialized, err := runSmallWrites(*latency, *ops, *size, 1)
+	check(err)
+	serialized.Name = "small-writes/serialized"
+	pipelined, err := runSmallWrites(*latency, *ops, *size, *depth)
+	check(err)
+	pipelined.Name = "small-writes/pipelined"
+
+	uncoalesced, err := runStripedWrite(*latency, coalesceOps, stripe, streams, true)
+	check(err)
+	uncoalesced.Name = "striped-write/coalesce-off"
+	coalesced, err := runStripedWrite(*latency, coalesceOps, stripe, streams, false)
+	check(err)
+	coalesced.Name = "striped-write/coalesce-on"
+
+	snap := snapshot{
+		Bench:   "wire-pipelining",
+		Tool:    "cmd/benchsnap",
+		Go:      runtime.Version(),
+		Config:  cfg,
+		Results: []result{serialized, pipelined, uncoalesced, coalesced},
+		Derived: derived{
+			PipelineSpeedup: ratio(serialized.WallNS, pipelined.WallNS),
+			CoalesceSpeedup: ratio(uncoalesced.WallNS, coalesced.WallNS),
+		},
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	check(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err := os.Stdout.Write(enc)
+		check(err)
+	} else {
+		check(os.WriteFile(*out, enc, 0o644))
+		fmt.Printf("wrote %s: pipeline speedup %.2fx, coalesce speedup %.2fx\n",
+			*out, snap.Derived.PipelineSpeedup, snap.Derived.CoalesceSpeedup)
+	}
+
+	// A snapshot whose headline number shows no improvement means the hot
+	// path regressed; fail loudly so CI smoke catches it.
+	if snap.Derived.PipelineSpeedup < 1.0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: pipelining slower than serialized (%.2fx)\n",
+			snap.Derived.PipelineSpeedup)
+		os.Exit(1)
+	}
+}
+
+// runSmallWrites issues ops writes of size bytes each over ONE connection
+// at the given pipeline depth (1 = strictly serialized) and measures wall
+// clock plus heap allocations per op.
+func runSmallWrites(latency time.Duration, ops, size, depth int) (result, error) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	cEnd, sEnd := netsim.Pipe(latency, nil, nil)
+	go srv.ServeConn(sEnd)
+	conn, err := srb.NewConn(cEnd, "bench")
+	if err != nil {
+		return result{}, err
+	}
+	defer conn.Close()
+	f, err := conn.Open("/bench.dat", srb.O_RDWR|srb.O_CREATE, "")
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+
+	blk := make([]byte, size)
+	for i := range blk {
+		blk[i] = byte(i)
+	}
+	// Warm the pools and the file so steady-state allocation is measured.
+	if _, err := f.WriteAt(blk, 0); err != nil {
+		return result{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	var firstErr error
+	if depth <= 1 {
+		for i := 0; i < ops; i++ {
+			if _, err := f.WriteAt(blk, int64(i*size)); err != nil {
+				firstErr = err
+				break
+			}
+		}
+	} else {
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+		)
+		sem := make(chan struct{}, depth)
+		for i := 0; i < ops; i++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := f.WriteAt(blk, int64(i*size)); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if firstErr != nil {
+		return result{}, firstErr
+	}
+	return result{
+		Ops:         ops,
+		WallNS:      wall.Nanoseconds(),
+		NSPerOp:     wall.Nanoseconds() / int64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}, nil
+}
+
+// runStripedWrite writes ops stripes through a striped SRBFS handle in one
+// WriteAt call, with write coalescing toggled by disable.
+func runStripedWrite(latency time.Duration, ops, stripe, streams int, disable bool) (result, error) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	dial := func() (net.Conn, error) {
+		cEnd, sEnd := netsim.Pipe(latency, nil, nil)
+		go srv.ServeConn(sEnd)
+		return cEnd, nil
+	}
+	fs, err := core.NewSRBFS(core.SRBFSConfig{
+		Dial:            dial,
+		User:            "bench",
+		Streams:         streams,
+		StripeSize:      stripe,
+		DisableCoalesce: disable,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	f, err := fs.Open("/striped.dat", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+
+	buf := make([]byte, ops*stripe)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+
+	start := time.Now()
+	n, err := f.WriteAt(buf, 0)
+	wall := time.Since(start)
+	if err != nil {
+		return result{}, err
+	}
+	if n != len(buf) {
+		return result{}, fmt.Errorf("striped write wrote %d of %d bytes", n, len(buf))
+	}
+	return result{
+		Ops:     ops,
+		WallNS:  wall.Nanoseconds(),
+		NSPerOp: wall.Nanoseconds() / int64(ops),
+	}, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}

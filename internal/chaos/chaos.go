@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"semplar/internal/adio"
@@ -235,15 +236,39 @@ func writeAndReadBack(fs *core.SRBFS, p string, content []byte, chunk int) (reco
 		}
 	}()
 	// Chunked writes give the schedule many distinct fault windows; each
-	// chunk is an idempotent explicit-offset op the client may replay.
+	// chunk is an idempotent explicit-offset op the client may replay. A
+	// small pool of concurrent writers keeps several tagged requests
+	// outstanding per connection, so faults land mid-pipeline rather than
+	// between strictly serialized ops.
+	const chunkWriters = 4
+	sem := make(chan struct{}, chunkWriters)
+	var (
+		wg     sync.WaitGroup
+		werrMu sync.Mutex
+		werr   error // guarded by werrMu
+	)
 	for off := 0; off < len(content); off += chunk {
 		end := off + chunk
 		if end > len(content) {
 			end = len(content)
 		}
-		if _, werr := f.WriteAt(content[off:end], int64(off)); werr != nil {
-			return 0, 0, fmt.Errorf("write@%d: %w", off, werr)
-		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(off, end int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, e := f.WriteAt(content[off:end], int64(off)); e != nil {
+				werrMu.Lock()
+				if werr == nil {
+					werr = fmt.Errorf("write@%d: %w", off, e)
+				}
+				werrMu.Unlock()
+			}
+		}(off, end)
+	}
+	wg.Wait()
+	if werr != nil {
+		return 0, 0, werr
 	}
 	got := make([]byte, len(content))
 	if _, rerr := f.ReadAt(got, 0); rerr != nil {

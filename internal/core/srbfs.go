@@ -55,6 +55,10 @@ type SRBFSConfig struct {
 	// operation spans and fault-recovery events for every handle this
 	// driver opens.
 	Tracer *trace.Tracer
+	// DisableCoalesce turns off vectored write batching and falls back to
+	// one opWrite round trip per stripe (the historical behavior). Reads
+	// are unaffected. Exists for A/B benchmarking of the coalescing path.
+	DisableCoalesce bool
 }
 
 // SRBFS is the high-performance ADIO implementation for the SRB filesystem
@@ -435,14 +439,17 @@ func (f *srbFile) splitStripes(p []byte, off int64) []op {
 	return ops
 }
 
-// runStriped executes the ops concurrently, one worker per stream, each
-// issuing its ops sequentially on its own connection.
+// runStriped executes the ops concurrently, one worker per stream. Writes
+// coalesce a stream's stripes into vectored frames (unless DisableCoalesce)
+// so k stripes cost roughly one round trip instead of k; reads exploit
+// connection pipelining by keeping several stripes in flight per stream.
 func (f *srbFile) runStriped(ops []op, write bool) []opResult {
 	results := make([]opResult, len(ops))
 	byStream := make([][]int, len(f.streams))
 	for i, o := range ops {
 		byStream[o.stream] = append(byStream[o.stream], i)
 	}
+	coalesce := write && !f.fs.cfg.DisableCoalesce
 	var wg sync.WaitGroup
 	for s, idxs := range byStream {
 		if len(idxs) == 0 {
@@ -452,15 +459,127 @@ func (f *srbFile) runStriped(ops []op, write bool) []opResult {
 		go func(s int, idxs []int) {
 			defer wg.Done()
 			st := f.streams[s]
-			for _, i := range idxs {
-				o := ops[i]
-				n, err := f.doOp(st, write, o.buf, o.off)
-				results[i] = opResult{n: n, err: err}
+			switch {
+			case coalesce && len(idxs) > 1:
+				f.writevStream(st, ops, idxs, results)
+			case write:
+				for _, i := range idxs {
+					o := ops[i]
+					n, err := f.doOp(st, true, o.buf, o.off)
+					results[i] = opResult{n: n, err: err}
+				}
+			default:
+				f.readStream(st, ops, idxs, results)
 			}
 		}(s, idxs)
 	}
 	wg.Wait()
 	return results
+}
+
+// doWritev runs one stream's batch of stripe writes as vectored frames,
+// retrying the whole vector under the driver's policy. Every segment is an
+// absolute-offset write, so a replay after a mid-vector transport failure
+// converges to the same file contents, exactly like a replayed WriteAt.
+func (f *srbFile) doWritev(s *stream, segs []srb.WriteSeg) (int, error) {
+	pol := f.fs.cfg.Retry
+	var n int
+	var err error
+	for attempt := 0; ; attempt++ {
+		file, gen := s.handle()
+		if file == nil {
+			n, err = 0, errStreamDown
+		} else {
+			n, err = file.WriteAtVec(segs)
+		}
+		if err == nil {
+			if attempt > 0 {
+				f.retriedOps.Add(1)
+				f.tracer.Count("srbfs.retried_ops", 1)
+			}
+			f.tracer.Count(s.writeCtr, int64(n))
+			return n, nil
+		}
+		if !pol.Enabled() || !srb.Retryable(err) {
+			return n, err
+		}
+		if attempt+1 >= pol.MaxAttempts {
+			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
+		}
+		time.Sleep(pol.Backoff(attempt))
+		if errors.Is(err, srb.ErrServerBusy) {
+			continue
+		}
+		if rerr := f.recoverStream(s, gen); rerr != nil {
+			if !srb.Retryable(rerr) {
+				return n, rerr
+			}
+		}
+	}
+}
+
+// writevStream coalesces one stream's stripes into vectored opWritev
+// frames. The server applies segments in order and acknowledges a byte
+// total, so results are distributed greedily over the ops in offset order
+// and the error (if any) lands on the first op that came up short.
+func (f *srbFile) writevStream(st *stream, ops []op, idxs []int, results []opResult) {
+	segs := make([]srb.WriteSeg, len(idxs))
+	for k, i := range idxs {
+		segs[k] = srb.WriteSeg{Off: ops[i].off, Data: ops[i].buf}
+	}
+	n, err := f.doWritev(st, segs)
+	rem := n
+	attached := err == nil
+	for _, i := range idxs {
+		want := len(ops[i].buf)
+		got := want
+		if rem < got {
+			got = rem
+		}
+		rem -= got
+		r := opResult{n: got}
+		if got < want && !attached {
+			r.err = err
+			attached = true
+		}
+		results[i] = r
+	}
+	if !attached {
+		// Every byte was acknowledged yet the vector still failed (e.g. a
+		// transport tear after the last frame's reply was consumed): the
+		// error belongs past the end of the run.
+		results[idxs[len(idxs)-1]].err = err
+	}
+}
+
+// readPipelineDepth bounds concurrent explicit-offset reads in flight per
+// stream: enough to hide the round trip under WAN-scale latency without
+// unbounded read-buffer pressure on the server.
+const readPipelineDepth = 8
+
+// readStream issues one stream's stripe reads concurrently, exploiting
+// connection pipelining: the stream's round trips overlap instead of
+// queueing behind each other.
+func (f *srbFile) readStream(st *stream, ops []op, idxs []int, results []opResult) {
+	if len(idxs) == 1 {
+		i := idxs[0]
+		n, err := f.doOp(st, false, ops[i].buf, ops[i].off)
+		results[i] = opResult{n: n, err: err}
+		return
+	}
+	sem := make(chan struct{}, readPipelineDepth)
+	var wg sync.WaitGroup
+	for _, i := range idxs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := f.doOp(st, false, ops[i].buf, ops[i].off)
+			results[i] = opResult{n: n, err: err}
+			<-sem
+		}(i)
+	}
+	wg.Wait()
 }
 
 type opResult struct {
@@ -572,7 +691,11 @@ func (f *srbFile) Close() error {
 		s.file, s.conn = nil, nil
 		s.mu.Unlock()
 		if file != nil {
-			if err := file.Close(); err != nil && first == nil {
+			// The close RPC is best-effort on a dead transport: the
+			// server releases a killed connection's handles itself, so a
+			// retryable (transport-class) failure here means there is
+			// nothing left to release, not a close that went wrong.
+			if err := file.Close(); err != nil && first == nil && !srb.Retryable(err) {
 				first = err
 			}
 		}

@@ -51,8 +51,9 @@ func (h *halfPipe) read(p []byte) (int, error) {
 	h.mu.Lock()
 	for {
 		if h.rerr != nil {
+			err := h.rerr // snapshot under mu: closeRead mutates rerr concurrently
 			h.mu.Unlock()
-			return 0, h.rerr
+			return 0, err
 		}
 		if len(h.segs) > 0 {
 			arrived := now()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,34 +13,69 @@ import (
 	"semplar/internal/trace"
 )
 
-// Conn is a client connection to an SRB server. One request is outstanding
-// at a time per connection (as in the real SRB); the library obtains
-// parallelism by opening several connections, which is the lever the
-// paper's multi-stream optimization pulls.
+// Conn is a client connection to an SRB server. Calls are pipelined: any
+// number of tagged requests may be in flight at once on one connection. A
+// sender serializes frames onto the wire under wmu while a demux goroutine
+// (readLoop) matches responses to waiting callers by the seq tag, so the
+// per-op latency of a batch of calls collapses to roughly one round trip —
+// the property the paper's asynchronous primitives need from the transport.
+// Multiple connections still multiply bandwidth, as in the real SRB; a
+// single connection now multiplies latency tolerance.
 type Conn struct {
+	c    net.Conn // immutable after NewConn
+	user string   // immutable after NewConn
+
 	mu      sync.Mutex
-	c       net.Conn      // immutable after NewConn
-	br      *bufio.Reader // guarded by mu
-	bw      *bufio.Writer // guarded by mu
-	seq     uint32        // guarded by mu
-	err     error         // guarded by mu; sticky transport error
-	timeout time.Duration // guarded by mu; per-operation deadline (0 = none)
-	user    string        // immutable after NewConn
+	seq     uint32                  // guarded by mu
+	pending map[uint32]*pendingCall // guarded by mu
+	err     error                   // guarded by mu; sticky, first failure wins
+	timeout time.Duration           // guarded by mu; per-operation deadline (0 = none)
+	tr      *trace.Tracer           // guarded by mu; nil = tracing off
+	lane    int64                   // guarded by mu; this connection's trace lane
 
-	timedOut atomic.Bool // the op-deadline watchdog severed the conn
+	wmu sync.Mutex
+	bw  *bufio.Writer // guarded by wmu
 
-	tr   *trace.Tracer // guarded by mu; nil = tracing off
-	lane int64         // guarded by mu; this connection's trace lane
+	br *bufio.Reader // owned by readLoop after NewConn
+}
+
+// pendingCall is one in-flight request awaiting its response.
+//
+// Completion is a race between three parties — the demux loop (response
+// arrived), the op-deadline watchdog (timer fired), and fail (transport
+// died) — resolved by the claimed CAS: exactly one winner writes resp/err
+// and closes done. The losers' outcomes are discarded, which is precisely
+// the fix for the old watchdog bug where a timer firing after the response
+// was already read still severed a healthy connection.
+type pendingCall struct {
+	done    chan struct{}
+	claimed atomic.Bool
+	resp    *response // written only by the claimed winner, before close(done)
+	err     error     // written only by the claimed winner, before close(done)
+}
+
+// complete delivers the call's outcome if no other party has; it reports
+// whether this caller won the claim.
+func (pc *pendingCall) complete(resp *response, err error) bool {
+	if !pc.claimed.CompareAndSwap(false, true) {
+		return false
+	}
+	pc.resp = resp
+	pc.err = err
+	close(pc.done)
+	return true
 }
 
 // NewConn performs the connect handshake over an established transport.
 func NewConn(c net.Conn, user string) (*Conn, error) {
 	conn := &Conn{
-		c:    c,
-		br:   bufio.NewReaderSize(c, 64<<10),
-		bw:   bufio.NewWriterSize(c, 64<<10),
-		user: user,
+		c:       c,
+		user:    user,
+		br:      bufio.NewReaderSize(c, 64<<10),
+		bw:      bufio.NewWriterSize(c, 64<<10),
+		pending: make(map[uint32]*pendingCall),
 	}
+	go conn.readLoop()
 	resp, err := conn.call(&request{op: opConnect, path: user})
 	if err != nil {
 		//lint:allow errdrop -- discarding the transport on a failed handshake; the handshake error is returned
@@ -66,20 +102,20 @@ func Dial(addr, user string) (*Conn, error) {
 // ErrConnClosed is returned for calls on a closed client connection.
 var ErrConnClosed = fmt.Errorf("srb: connection closed")
 
-// Close terminates the connection.
+// Close terminates the connection. In-flight calls fail with ErrConnClosed
+// (or the earlier sticky error if the connection had already failed). fail
+// closes the transport exactly once (first failure wins), so Close after an
+// earlier failure must not close again: real TCP conns error on a double
+// close, and that spurious error would mask a clean shutdown.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = ErrConnClosed
-	}
-	return c.c.Close()
+	c.fail(ErrConnClosed)
+	return nil
 }
 
 // SetTracer attributes this connection's wire traffic to tr: every
 // request/response round trip becomes a "wire" span on the connection's
-// own trace lane and feeds the srb.client.op latency histogram. A nil
-// tracer (the default) disables tracing for the connection.
+// own trace lane, tagged with its seq, and feeds the srb.client.op latency
+// histogram. A nil tracer (the default) disables tracing.
 func (c *Conn) SetTracer(tr *trace.Tracer) {
 	c.mu.Lock()
 	c.tr = tr
@@ -97,71 +133,156 @@ func (c *Conn) SetOpTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// transportErr wraps a wire-level failure so callers can classify it:
-// timeouts become ErrTimeout, everything else ErrTransport. The inner
-// error is folded into the message (not the chain) so a transport EOF is
-// never confused with a semantic end-of-file.
-func (c *Conn) transportErr(err error) error {
-	if c.timedOut.Load() {
-		//lint:allow guardedfield -- transportErr is only called from call, which holds c.mu
-		return fmt.Errorf("%w after %v: %v", ErrTimeout, c.timeout, err)
+// fail severs the connection with a classified error. The first failure
+// wins: it becomes the sticky error returned by every later call, and every
+// in-flight call orphaned by the failure completes with it. Classification
+// happens here at the failure site — a timeout is ErrTimeout on the call
+// that timed out, and collateral damage is ErrTransport — so one timed-out
+// op can no longer mislabel every subsequent transport error on the
+// connection (the old sticky-timedOut bug).
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		//lint:allow errdrop -- severing a failed transport; the classified error is already propagating
+		c.c.Close()
 	}
-	return fmt.Errorf("%w: %v", ErrTransport, err)
+	err = c.err
+	orphans := c.pending
+	c.pending = make(map[uint32]*pendingCall)
+	c.mu.Unlock()
+	for _, pc := range orphans {
+		pc.complete(nil, err)
+	}
 }
 
-// call sends one request and reads its response, serializing concurrent
-// callers. Returned errors distinguish transport failures (sticky) from
-// server status errors.
-func (c *Conn) call(req *request) (*response, error) {
+// readLoop is the demux half of pipelining. It owns br: it reads responses
+// in arrival order and completes the pending call carrying the matching
+// tag, in whatever order the tags come back. It exits when the transport
+// fails, failing every in-flight call with a classifiable transport error.
+func (c *Conn) readLoop() {
+	for {
+		resp, err := readResponse(c.br)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrTransport, err))
+			return
+		}
+		c.mu.Lock()
+		pc := c.pending[resp.seq]
+		delete(c.pending, resp.seq)
+		c.mu.Unlock()
+		if pc == nil {
+			// A tag nothing is waiting for. Either the server invented a
+			// response or this conn's framing drifted; the stream cannot
+			// be trusted past this point. (A late answer to a timed-out
+			// call also lands here, but the watchdog already severed the
+			// conn then, so this fail is a no-op.)
+			c.fail(fmt.Errorf("%w: response for unknown seq %d", ErrProtocol, resp.seq))
+			return
+		}
+		pc.complete(resp, nil)
+	}
+}
+
+// validateRequest applies the wire bounds client-side, before a frame is
+// built: an oversized argument fails its one call with ErrInvalid and the
+// connection stays healthy. Without this, the peer's parser would reject
+// the frame as ErrProtocol — severing the connection the client itself
+// poisoned. Symmetric checks remain in writeRequest as parser-side defense.
+func validateRequest(req *request) error {
+	if len(req.path) > maxPathLen {
+		return fmt.Errorf("%w: path length %d exceeds max %d", ErrInvalid, len(req.path), maxPathLen)
+	}
+	if len(req.data) > MaxChunk {
+		return fmt.Errorf("%w: request payload %d exceeds max %d", ErrInvalid, len(req.data), MaxChunk)
+	}
+	return nil
+}
+
+// register assigns the request's tag and parks a pendingCall for the demux
+// loop, snapshotting the tracer and deadline under mu.
+func (c *Conn) register(req *request) (*pendingCall, *trace.Tracer, int64, time.Duration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
-		return nil, c.err
+		return nil, nil, 0, 0, c.err
 	}
-	if tr := c.tr; tr.Enabled() {
+	for {
+		c.seq++
+		if c.seq == 0 {
+			// Wraparound: skip tag 0 so "no tag" stays unambiguous in
+			// diagnostics.
+			continue
+		}
+		if _, inFlight := c.pending[c.seq]; !inFlight {
+			break
+		}
+	}
+	req.seq = c.seq
+	pc := &pendingCall{done: make(chan struct{})}
+	c.pending[req.seq] = pc
+	return pc, c.tr, c.lane, c.timeout, nil
+}
+
+// call sends one tagged request and waits for its response. Concurrent
+// callers pipeline: each holds wmu only for its own frame, then blocks on
+// its own pendingCall while others use the wire. Returned errors
+// distinguish transport failures (sticky, retryable on a fresh connection)
+// from server status errors (terminal).
+func (c *Conn) call(req *request) (*response, error) {
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	pc, tr, lane, timeout, err := c.register(req)
+	if err != nil {
+		return nil, err
+	}
+	var sp trace.Span
+	traced := tr.Enabled()
+	if traced {
 		// The span covers send + server turnaround + receive — the full
-		// wire cost of the synchronous call. It ends in a defer registered
-		// after the mu.Unlock defer, so the event is still recorded under
-		// c.mu and trace order matches call order on this connection.
-		sp := tr.Begin("wire", opName(req.op), c.lane)
-		defer func() {
-			tr.Observe("srb.client.op", sp.End())
-		}()
+		// wire cost of this call. Under pipelining, spans of concurrent
+		// calls overlap on the connection lane; the seq arg recorded at
+		// End disambiguates them.
+		sp = tr.Begin("wire", opName(req.op), lane)
 	}
-	if c.timeout > 0 {
-		// Watchdog: a stalled server or black-holed path would block
-		// readResponse forever; severing the transport bounds the op.
-		timer := time.AfterFunc(c.timeout, func() {
-			c.timedOut.Store(true)
-			//lint:allow errdrop -- watchdog severs a stalled transport; nothing can use the result
-			c.c.Close()
+	if timeout > 0 {
+		// Watchdog, armed before the send so a write stalled on a
+		// black-holed stream is bounded too. Claim-then-sever: if the
+		// response wins the race, the CAS loses and the healthy
+		// connection survives — the watchdog only kills a connection
+		// whose call it actually failed.
+		timer := time.AfterFunc(timeout, func() {
+			if pc.complete(nil, fmt.Errorf("%w after %v (%s seq %d)", ErrTimeout, timeout, opName(req.op), req.seq)) {
+				c.fail(fmt.Errorf("%w: connection severed by op-deadline watchdog", ErrTransport))
+			}
 		})
 		defer timer.Stop()
 	}
-	c.seq++
-	req.seq = c.seq
-	if err := writeRequest(c.bw, req); err != nil {
-		c.err = c.transportErr(err)
-		return nil, c.err
+	c.wmu.Lock()
+	//lint:allow lockheld -- c.wmu IS the frame-serialization point: one request frame at a time
+	err = writeRequest(c.bw, req)
+	if err == nil {
+		//lint:allow lockheld -- flushed under the same write lock, still one frame at a time
+		err = c.bw.Flush()
 	}
-	//lint:allow lockheld -- c.mu IS the wire-serialization point: one request/response at a time
-	if err := c.bw.Flush(); err != nil {
-		c.err = c.transportErr(err)
-		return nil, c.err
-	}
-	resp, err := readResponse(c.br)
+	c.wmu.Unlock()
 	if err != nil {
-		c.err = c.transportErr(err)
-		return nil, c.err
+		// The stream may be torn mid-frame; nothing after this frame can
+		// be trusted, so the whole connection fails.
+		c.fail(fmt.Errorf("%w: %v", ErrTransport, err))
 	}
-	if resp.seq != req.seq {
-		c.err = fmt.Errorf("%w: response seq %d for request %d", ErrProtocol, resp.seq, req.seq)
-		return nil, c.err
+	<-pc.done
+	if traced {
+		tr.Observe("srb.client.op", sp.End(trace.Int("seq", int64(req.seq))))
 	}
-	if resp.status != statusOK {
-		return nil, statusToErr(resp.status, resp.msg)
+	if pc.err != nil {
+		return nil, pc.err
 	}
-	return resp, nil
+	if pc.resp.status != statusOK {
+		return nil, statusToErr(pc.resp.status, pc.resp.msg)
+	}
+	return pc.resp, nil
 }
 
 // Ping round-trips a no-op request and returns the server's clock.
@@ -236,6 +357,11 @@ func (c *Conn) List(path string) ([]*FileInfo, error) {
 
 // SetAttr attaches a metadata attribute to a path.
 func (c *Conn) SetAttr(path, key, value string) error {
+	if strings.IndexByte(key, 0) >= 0 {
+		// The wire form is key\0value: a NUL inside the key would shift
+		// the server's split and silently store a corrupted pair.
+		return fmt.Errorf("%w: attribute key contains NUL byte", ErrInvalid)
+	}
 	data := make([]byte, 0, len(key)+len(value)+1)
 	data = append(data, key...)
 	data = append(data, 0)
@@ -303,7 +429,7 @@ func (c *Conn) Resources() (map[string]string, error) {
 }
 
 // File is an open remote file handle. Methods are safe for concurrent use;
-// requests serialize on the underlying connection.
+// concurrent requests pipeline on the underlying connection.
 type File struct {
 	conn   *Conn
 	handle int32
@@ -339,9 +465,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return total, err
 		}
-		copy(p[total:], resp.data)
-		total += len(resp.data)
-		if len(resp.data) < n {
+		got := copy(p[total:], resp.data)
+		putBuf(resp.data) // hot path: payload copied out, recycle the buffer
+		total += got
+		if got < n {
 			return total, io.EOF
 		}
 	}
@@ -371,6 +498,81 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
+// WriteSeg is one segment of a vectored write: Data destined for absolute
+// offset Off. Segments should be sorted by ascending offset and
+// non-overlapping; adjacent contiguous segments are merged on the wire.
+type WriteSeg struct {
+	Off  int64
+	Data []byte
+}
+
+// WriteAtVec writes all segments using vectored opWritev frames: many
+// discontiguous extents per round trip instead of one RPC per extent,
+// which is what makes fine-grained striped writes affordable over a
+// high-latency link. Segments are packed greedily into frames bounded by
+// MaxChunk. Returns the total byte count acknowledged by the server; a
+// frame acknowledged short surfaces io.ErrShortWrite, like WriteAt.
+//
+// The operation is idempotent (each segment is an absolute-offset write),
+// so a transport failure mid-vector may be replayed on a fresh connection.
+func (f *File) WriteAtVec(segs []WriteSeg) (int, error) {
+	total := 0
+	frame := make([]writeSeg, 0, len(segs))
+	frameBytes := 0
+	flush := func() (int, error) {
+		if len(frame) == 0 {
+			return 0, nil
+		}
+		payload := encodeWritev(frame)
+		want := frameBytes
+		frame = frame[:0]
+		frameBytes = 0
+		resp, err := f.conn.call(&request{op: opWritev, handle: f.handle, data: payload})
+		putBuf(payload) // frame is on the wire (or dead); recycle
+		if err != nil {
+			return 0, err
+		}
+		if int(resp.value) < want {
+			return int(resp.value), io.ErrShortWrite
+		}
+		return int(resp.value), nil
+	}
+	for _, s := range segs {
+		if len(s.Data) == 0 {
+			continue
+		}
+		if s.Off < 0 {
+			return total, fmt.Errorf("%w: negative write offset", ErrInvalid)
+		}
+		rest := s.Data
+		off := s.Off
+		for len(rest) > 0 {
+			// Room left in the current frame for payload, worst-case
+			// assuming this segment needs its own table entry.
+			room := MaxChunk - writevHdrSize - (len(frame)+1)*writevSegSize - frameBytes
+			if room <= 0 {
+				n, err := flush()
+				total += n
+				if err != nil {
+					return total, err
+				}
+				continue
+			}
+			chunk := rest
+			if len(chunk) > room {
+				chunk = chunk[:room]
+			}
+			frame = append(frame, writeSeg{off: off, data: chunk})
+			frameBytes += len(chunk)
+			off += int64(len(chunk))
+			rest = rest[len(chunk):]
+		}
+	}
+	n, err := flush()
+	total += n
+	return total, err
+}
+
 // Read reads from the server-side file pointer.
 func (f *File) Read(p []byte) (int, error) {
 	f.posMu.Lock()
@@ -387,9 +589,10 @@ func (f *File) Read(p []byte) (int, error) {
 		if err != nil {
 			return total, err
 		}
-		copy(p[total:], resp.data)
-		total += len(resp.data)
-		if len(resp.data) < n {
+		got := copy(p[total:], resp.data)
+		putBuf(resp.data) // hot path: payload copied out, recycle the buffer
+		total += got
+		if got < n {
 			if total == 0 {
 				return 0, io.EOF
 			}

@@ -27,6 +27,18 @@ const (
 	// MaxChunk bounds the payload of one request/response; larger
 	// transfers are split by the client.
 	MaxChunk = 4 << 20
+
+	// maxPathLen bounds the path field of a request. Enforced by the
+	// client before sending (ErrInvalid, the connection stays healthy)
+	// and by the server's parser (ErrProtocol — by then it is framing
+	// damage).
+	maxPathLen = 4096
+
+	// maxMsgLen bounds the status-message field of a response. The
+	// server truncates longer messages in writeResponse, so an oversized
+	// msgLen on the client side is always framing damage, never an
+	// honest but long error string.
+	maxMsgLen = 4096
 )
 
 // Opcodes.
@@ -52,6 +64,7 @@ const (
 	opRename
 	opReplicate
 	opChecksum
+	opWritev
 )
 
 // opName renders an opcode for traces and diagnostics.
@@ -99,6 +112,8 @@ func opName(op uint8) string {
 		return "replicate"
 	case opChecksum:
 		return "checksum"
+	case opWritev:
+		return "writev"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -247,6 +262,12 @@ func writeRequest(w io.Writer, r *request) error {
 	if len(r.data) > MaxChunk {
 		return fmt.Errorf("%w: request payload %d exceeds max %d", ErrInvalid, len(r.data), MaxChunk)
 	}
+	if len(r.path) > maxPathLen {
+		// Symmetric with the data-length check: the peer's parser would
+		// reject this as ErrProtocol and sever the connection, so refuse
+		// before a byte hits the wire and keep the connection healthy.
+		return fmt.Errorf("%w: path length %d exceeds max %d", ErrInvalid, len(r.path), maxPathLen)
+	}
 	var hdr [reqHeaderSize]byte
 	binary.BigEndian.PutUint16(hdr[0:], reqMagic)
 	hdr[2] = protoVer
@@ -295,19 +316,24 @@ func readRequest(r io.Reader) (*request, error) {
 	}
 	pathLen := binary.BigEndian.Uint32(hdr[32:])
 	dataLen := binary.BigEndian.Uint32(hdr[36:])
-	if pathLen > 4096 || dataLen > MaxChunk {
+	if pathLen > maxPathLen || dataLen > MaxChunk {
 		return nil, fmt.Errorf("%w: oversized request (path %d, data %d)", ErrProtocol, pathLen, dataLen)
 	}
 	if pathLen > 0 {
-		pb := make([]byte, pathLen)
+		pb := getBuf(int(pathLen))
 		if _, err := io.ReadFull(r, pb); err != nil {
+			putBuf(pb)
 			return nil, err
 		}
 		req.path = string(pb)
+		putBuf(pb)
 	}
 	if dataLen > 0 {
-		req.data = make([]byte, dataLen)
+		// Pooled: the server's request loop releases req.data once the
+		// response is written (dispatch never retains payload bytes).
+		req.data = getBuf(int(dataLen))
 		if _, err := io.ReadFull(r, req.data); err != nil {
+			putBuf(req.data)
 			return nil, err
 		}
 	}
@@ -334,18 +360,27 @@ type response struct {
 }
 
 func writeResponse(w io.Writer, resp *response) error {
+	msg := resp.msg
+	if len(msg) > maxMsgLen {
+		// An err.Error() of any length can land here (statusIO carries
+		// the text); the peer's parser rejects msgLen > maxMsgLen as
+		// ErrProtocol, which would turn a benign status reply into a
+		// sticky transport kill. Truncate instead of poisoning the
+		// connection.
+		msg = msg[:maxMsgLen]
+	}
 	var hdr [respHeaderSize]byte
 	binary.BigEndian.PutUint16(hdr[0:], respMagic)
 	binary.BigEndian.PutUint32(hdr[4:], resp.seq)
 	binary.BigEndian.PutUint32(hdr[8:], uint32(resp.status))
 	binary.BigEndian.PutUint64(hdr[12:], uint64(resp.value))
-	binary.BigEndian.PutUint32(hdr[20:], uint32(len(resp.msg)))
+	binary.BigEndian.PutUint32(hdr[20:], uint32(len(msg)))
 	binary.BigEndian.PutUint32(hdr[24:], uint32(len(resp.data)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if len(resp.msg) > 0 {
-		if _, err := io.WriteString(w, resp.msg); err != nil {
+	if len(msg) > 0 {
+		if _, err := io.WriteString(w, msg); err != nil {
 			return err
 		}
 	}
@@ -372,19 +407,25 @@ func readResponse(r io.Reader) (*response, error) {
 	}
 	msgLen := binary.BigEndian.Uint32(hdr[20:])
 	dataLen := binary.BigEndian.Uint32(hdr[24:])
-	if msgLen > 4096 || dataLen > MaxChunk {
+	if msgLen > maxMsgLen || dataLen > MaxChunk {
 		return nil, fmt.Errorf("%w: oversized response", ErrProtocol)
 	}
 	if msgLen > 0 {
-		mb := make([]byte, msgLen)
+		mb := getBuf(int(msgLen))
 		if _, err := io.ReadFull(r, mb); err != nil {
+			putBuf(mb)
 			return nil, err
 		}
 		resp.msg = string(mb)
+		putBuf(mb)
 	}
 	if dataLen > 0 {
-		resp.data = make([]byte, dataLen)
+		// Pooled: the client's data hot paths (ReadAt/Read) release after
+		// copying out; metadata paths copy into strings and leave the
+		// buffer to the GC.
+		resp.data = getBuf(int(dataLen))
 		if _, err := io.ReadFull(r, resp.data); err != nil {
+			putBuf(resp.data)
 			return nil, err
 		}
 	}
@@ -438,6 +479,103 @@ func decodeFileInfo(b []byte) (*FileInfo, []byte, error) {
 		return nil, nil, err
 	}
 	return fi, b, nil
+}
+
+// Vectored-write framing. An opWritev request carries several (offset, data)
+// segments for one handle in a single round trip:
+//
+//	count uint32
+//	count × { off int64, segLen uint32 }
+//	concatenated payload bytes, in segment order
+//
+// The segment table is up front so the server can validate the whole vector
+// before touching storage. Callers budget frames so the encoded form stays
+// within MaxChunk (writevHdrSize + per-segment writevSegSize + payload).
+const (
+	writevHdrSize = 4  // count
+	writevSegSize = 12 // off i64 + segLen u32
+)
+
+// writeSeg is one segment of a vectored write.
+type writeSeg struct {
+	off  int64
+	data []byte
+}
+
+// encodeWritev packs segments into an opWritev request payload, coalescing
+// table entries for segments that are contiguous on disk: the payload bytes
+// concatenate either way, so adjacent stripes collapse into one run for
+// free. The buffer is pooled; the caller releases it with putBuf once the
+// frame is on the wire.
+func encodeWritev(segs []writeSeg) []byte {
+	type run struct {
+		off int64
+		n   int
+	}
+	runs := make([]run, 0, len(segs))
+	size := writevHdrSize
+	for _, s := range segs {
+		size += len(s.data)
+		if k := len(runs) - 1; k >= 0 && runs[k].off+int64(runs[k].n) == s.off {
+			runs[k].n += len(s.data)
+			continue
+		}
+		runs = append(runs, run{off: s.off, n: len(s.data)})
+	}
+	size += len(runs) * writevSegSize
+	buf := getBuf(size)
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(runs)))
+	p := writevHdrSize
+	for _, r := range runs {
+		binary.BigEndian.PutUint64(buf[p:], uint64(r.off))
+		binary.BigEndian.PutUint32(buf[p+8:], uint32(r.n))
+		p += writevSegSize
+	}
+	for _, s := range segs {
+		p += copy(buf[p:], s.data)
+	}
+	return buf
+}
+
+// decodeWritev unpacks an opWritev payload. The frame already passed the
+// wire parser's bounds, so malformed vector framing here is an argument
+// error (ErrInvalid status reply) rather than connection damage. Returned
+// segments alias b; callers must copy before b is released.
+func decodeWritev(b []byte) ([]writeSeg, error) {
+	if len(b) < writevHdrSize {
+		return nil, fmt.Errorf("%w: writev frame too short", ErrInvalid)
+	}
+	count := binary.BigEndian.Uint32(b)
+	if count == 0 {
+		return nil, fmt.Errorf("%w: empty writev vector", ErrInvalid)
+	}
+	if int(count) > (len(b)-writevHdrSize)/writevSegSize {
+		return nil, fmt.Errorf("%w: writev segment table truncated", ErrInvalid)
+	}
+	segs := make([]writeSeg, count)
+	p := writevHdrSize
+	var total int
+	for i := range segs {
+		segs[i].off = int64(binary.BigEndian.Uint64(b[p:]))
+		segLen := binary.BigEndian.Uint32(b[p+8:])
+		if segLen > MaxChunk {
+			return nil, fmt.Errorf("%w: writev segment oversized", ErrInvalid)
+		}
+		if segs[i].off < 0 {
+			return nil, fmt.Errorf("%w: negative writev offset", ErrInvalid)
+		}
+		total += int(segLen)
+		p += writevSegSize
+	}
+	if len(b)-p != total {
+		return nil, fmt.Errorf("%w: writev payload length mismatch", ErrInvalid)
+	}
+	for i := range segs {
+		segLen := int(binary.BigEndian.Uint32(b[writevHdrSize+i*writevSegSize+8:]))
+		segs[i].data = b[p : p+segLen]
+		p += segLen
+	}
+	return segs, nil
 }
 
 func appendString(buf []byte, s string) []byte {

@@ -339,6 +339,7 @@ func (s *Server) shedConn(conn net.Conn) {
 		return
 	}
 	s.countShed()
+	putBuf(req.data) // parser-pooled payload; the request is refused unread
 	resp := errResp(ErrServerBusy)
 	resp.seq = req.seq
 	if err := writeResponse(bw, resp); err != nil {
@@ -375,21 +376,48 @@ func (s *Server) ServeConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	for {
-		req, err := readRequest(br)
-		if err != nil {
-			// Reads severed by Shutdown's idle-conn sweep are expected,
-			// not protocol violations.
-			if err != io.EOF && !s.isDraining() {
-				atomic.AddInt64(&s.stats.ProtocolError, 1)
+
+	// Read-ahead: a reader goroutine parses frames off the wire while this
+	// goroutine executes them in arrival order, so frame parsing of request
+	// N+1 overlaps the dispatch of request N and a pipelining client never
+	// stalls on the server's turnaround. The queue is bounded: a client
+	// that outruns dispatch by more than its depth backpressures into the
+	// transport, exactly as before.
+	reqCh := make(chan *request, readAheadDepth)
+	done := make(chan struct{})
+	defer close(done)
+	var readErr error // written by the reader before close(reqCh)
+	go func() {
+		defer close(reqCh)
+		for {
+			req, err := readRequest(br)
+			if err != nil {
+				readErr = err
+				return
 			}
-			return
+			select {
+			case reqCh <- req:
+			case <-done:
+				putBuf(req.data) // executor is gone; recycle the orphan
+				return
+			}
 		}
+	}()
+
+	// Drain bookkeeping runs at burst granularity: busy is set per request
+	// (beginOp) but cleared (endOp) only at idle points, after the batched
+	// flush put every response of the burst on the wire. The old guarantee
+	// — the drain sweep can never close a conn between dispatch completion
+	// and the client receiving its reply — holds unchanged, because a conn
+	// is "idle" only when it has no request queued and no response
+	// buffered.
+	for req := range reqCh {
 		atomic.AddInt64(&s.stats.Requests, 1)
 		if !s.beginOp(cs) {
 			// Draining: shed the request and hang up; the client's retry
 			// lands on whatever replaces this server.
 			s.countShed()
+			putBuf(req.data)
 			resp := errResp(ErrServerBusy)
 			resp.seq = req.seq
 			if writeResponse(bw, resp) == nil {
@@ -419,21 +447,35 @@ func (s *Server) ServeConn(conn net.Conn) {
 			s.releaseOp()
 		}
 		resp.seq = req.seq
+		putBuf(req.data) // dispatch copied what it kept; recycle the payload
 		if err := writeResponse(bw, resp); err != nil {
 			return
+		}
+		putBuf(resp.data) // response is in the write buffer; recycle
+		if len(reqCh) > 0 {
+			// More requests already parsed: batch this response with the
+			// next ones and keep the conn marked busy, amortizing flushes
+			// across the burst.
+			continue
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		// The response is on the wire before busy clears, so the drain
-		// sweep can never close this conn between dispatch completion and
-		// the client receiving its reply.
 		if s.endOp(cs) {
 			s.countDrained()
 			return
 		}
 	}
+	// Reads severed by Shutdown's idle-conn sweep are expected, not
+	// protocol violations.
+	if readErr != io.EOF && !s.isDraining() {
+		atomic.AddInt64(&s.stats.ProtocolError, 1)
+	}
 }
+
+// readAheadDepth bounds how many parsed-but-unexecuted requests one
+// connection may queue server-side.
+const readAheadDepth = 32
 
 type openFile struct {
 	obj    storage.Object
@@ -476,6 +518,8 @@ func (ss *session) dispatch(req *request) *response {
 		return ss.read(req)
 	case opWrite:
 		return ss.write(req)
+	case opWritev:
+		return ss.writev(req)
 	case opSeek:
 		return ss.seek(req)
 	case opStat:
@@ -673,7 +717,7 @@ func (ss *session) read(req *request) *response {
 	if usePointer {
 		off = f.pos
 	}
-	buf := make([]byte, n)
+	buf := getBuf(int(n))
 	rn, err := f.obj.ReadAt(buf, off)
 	if err != nil && err != io.EOF {
 		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
@@ -713,6 +757,44 @@ func (ss *session) write(req *request) *response {
 	ss.srv.cat.GrowSize(f.path, off+int64(n))
 	atomic.AddInt64(&ss.srv.stats.BytesWritten, int64(n))
 	return &response{value: int64(n)}
+}
+
+// writev applies a vectored write: several absolute-offset segments in one
+// request. Malformed vector framing is an ErrInvalid status reply — the
+// wire frame itself parsed fine, so the connection survives. Each segment
+// is an idempotent WriteAt, so a replay after a mid-vector transport
+// failure is safe.
+func (ss *session) writev(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	if f.flags&O_ACCESS == O_RDONLY {
+		return errResp(fmt.Errorf("%w: file not open for writing", ErrInvalid))
+	}
+	segs, err := decodeWritev(req.data)
+	if err != nil {
+		return errResp(err)
+	}
+	var total int64
+	for _, sg := range segs {
+		n, werr := f.obj.WriteAt(sg.data, sg.off)
+		if n > 0 {
+			ss.srv.cat.GrowSize(f.path, sg.off+int64(n))
+			total += int64(n)
+		}
+		if werr != nil {
+			return errResp(fmt.Errorf("%w: %v", ErrIO, werr))
+		}
+		if n < len(sg.data) {
+			// Short write without an error (e.g. a full device): report
+			// the acknowledged total and stop; blindly continuing would
+			// punch a hole.
+			break
+		}
+	}
+	atomic.AddInt64(&ss.srv.stats.BytesWritten, total)
+	return &response{value: total}
 }
 
 func (ss *session) seek(req *request) *response {
