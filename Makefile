@@ -9,7 +9,7 @@ RACE_PKGS = ./...
 # -fuzz <name> ./internal/srb` with no time limit).
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race lint fuzz-short chaos-short chaos-long bench bench-smoke
+.PHONY: check vet build test race lint lint-json fuzz-short chaos-short chaos-long bench bench-smoke
 
 check: vet build test race lint fuzz-short chaos-short
 
@@ -25,13 +25,26 @@ build:
 test:
 	$(GO) test -shuffle=on ./...
 
+# The analyzer corpus line is explicit (not folded into RACE_PKGS) so a
+# narrowed RACE_PKGS override still races the analysis engine, whose
+# summary cache is the kind of lazily-built shared state -race exists for.
 race:
 	$(GO) test -race -count=1 -shuffle=on $(RACE_PKGS)
+	$(GO) test -race -count=1 ./internal/analysis
 
-# semplarvet: the project's own analyzer suite (lockheld, guardedfield,
-# wireproto, errdrop, determinism). Non-zero exit on any finding.
+# semplarvet: the project's own analyzer suite, ten rules — intraprocedural
+# (lockheld, guardedfield, wireproto, errdrop, determinism) plus the
+# interprocedural lifecycle/ordering set (pooluse, lockorder, spanbalance,
+# retryclass, goexit). Non-zero exit on any finding. Restrict with
+# RULES=name1,name2 (`make lint RULES=pooluse,lockorder`); list names with
+# `go run ./cmd/semplarvet -list`.
+RULES ?=
 lint:
-	$(GO) run ./cmd/semplarvet ./...
+	$(GO) run ./cmd/semplarvet $(if $(RULES),-rules $(RULES)) ./...
+
+# Machine-readable findings for CI artifact upload; same exit semantics.
+lint-json:
+	$(GO) run ./cmd/semplarvet $(if $(RULES),-rules $(RULES)) -json ./... > lint.json
 
 # Short fuzz smoke over the wire-protocol parsers: seeds plus $(FUZZTIME)
 # of mutation per target.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	semplarvet [-rules lockheld,errdrop] [-list] [dir]
+//	semplarvet [-rules lockheld,errdrop] [-list] [-json] [dir]
 //
 // With no directory argument the module containing the working directory
 // is analyzed. A "./..." argument is accepted (and means the same thing)
@@ -21,20 +21,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"semplar/internal/analysis"
 )
 
+// jsonDiag is the machine-readable finding shape emitted by -json; CI
+// uploads the array as a workflow artifact. Order is deterministic:
+// (file, line, col, rule) across all packages.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semplarvet [-rules r1,r2] [-list] [dir]\n")
+		fmt.Fprintf(os.Stderr, "usage: semplarvet [-rules r1,r2] [-list] [-json] [dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -107,24 +121,60 @@ func main() {
 	}
 
 	cwd, _ := os.Getwd()
-	findings := 0
+	var diags []jsonDiag
 	for _, pkg := range pkgs {
 		for _, d := range analysis.Run(pkg, selected) {
 			if scope != "" && !strings.HasPrefix(d.Pos.Filename, scope) {
 				continue
 			}
-			findings++
 			name := d.Pos.Filename
 			if cwd != "" {
 				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 					name = rel
 				}
 			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+			diags = append(diags, jsonDiag{
+				File:    name,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "semplarvet: %d finding(s)\n", findings)
+	// Run sorts within a package; re-sort globally so multi-package output
+	// is stable regardless of load order.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+
+	if *asJSON {
+		out, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semplarvet: %v\n", err)
+			os.Exit(2)
+		}
+		if diags == nil {
+			out = []byte("[]")
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Rule, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "semplarvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -16,6 +16,21 @@
 //   - determinism: packages with a clock.go must route wall-clock and
 //     randomness through it, keeping simulations reproducible.
 //
+// On top of those per-function rules sits a small interprocedural layer
+// (summary.go): a package-level call graph with one summary per function
+// — locks acquired, parameters released or Ended, pool-owned returns —
+// propagated to a fixpoint. Five rules consume it:
+//
+//   - pooluse: every getBuf reaches exactly one putBuf on every path; no
+//     use-after-put, double put, or escape into long-lived state.
+//   - lockorder: the package-wide mutex acquisition graph (including
+//     acquisitions made through calls) must be cycle-free.
+//   - spanbalance: every trace span Begin has an End on all paths.
+//   - retryclass: every Err* value and status* wire code is classified in
+//     the Retryable/status tables.
+//   - goexit: every goroutine in client/server/engine packages has a
+//     provable exit path (conn close, channel, context, shutdown flag).
+//
 // Deliberate exceptions are annotated in the source with a
 // "//lint:allow <rule>[,<rule>...] -- reason" pragma, which suppresses
 // findings on the pragma's line and the line below it.
@@ -50,6 +65,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	summ *pkgSummaries // lazily built interprocedural summaries (see summary.go)
 }
 
 // Analyzer is one semplarvet rule.
@@ -70,6 +87,11 @@ func Analyzers() []Analyzer {
 		wireproto{},
 		errdrop{},
 		determinism{},
+		pooluse{},
+		lockorder{},
+		spanbalance{},
+		retryclass{},
+		goexit{},
 	}
 }
 

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// pooluse enforces the bufpool ownership discipline in packages that
+// define the getBuf/putBuf convention: every pool-owned buffer (from
+// getBuf or from a function whose summary says it returns one) must reach
+// exactly one putBuf on every path. Leaks on error returns, double puts,
+// uses after put, discarded getBuf results and stores into state that
+// outlives the call are all reported. Ownership transfers end tracking:
+// returning the buffer, storing it into a local struct, or passing it to
+// a callee whose summary releases that parameter.
+type pooluse struct{}
+
+func (pooluse) Name() string { return "pooluse" }
+func (pooluse) Doc() string {
+	return "every getBuf must reach exactly one putBuf on every path (no leaks, double puts, use-after-put, or escapes into long-lived state)"
+}
+
+func (pooluse) Run(pkg *Package) []Diagnostic {
+	ps := pkg.summaries()
+	if ps.getBuf == nil || ps.putBuf == nil {
+		return nil // package does not use the bufpool convention
+	}
+	var diags []Diagnostic
+	hooks := &ownHooks{
+		rule: "pooluse",
+		what: "pooled buffer",
+		isAcquire: func(call *ast.CallExpr) (string, bool) {
+			if !ps.isPooledSource(call) {
+				return "", false
+			}
+			fn := pkg.calleeFunc(call)
+			if fn == ps.getBuf {
+				return "getBuf", true
+			}
+			return fn.Name(), true
+		},
+		releaseTarget: func(call *ast.CallExpr) ast.Expr {
+			if pkg.calleeFunc(call) == ps.putBuf && len(call.Args) == 1 {
+				return call.Args[0]
+			}
+			return nil
+		},
+		releaseName: "putBuf",
+		transfersArg: func(call *ast.CallExpr, i int) bool {
+			fn := pkg.calleeFunc(call)
+			if fn == nil {
+				return false
+			}
+			cs := ps.funcs[fn]
+			return cs != nil && cs.releasesParams[i]
+		},
+		reportEscapeStore: true,
+	}
+	runOwnScan(pkg, hooks, &diags)
+	return diags
+}

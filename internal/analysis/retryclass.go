@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// retryclass guards the error-classification tables in packages that
+// define a `Retryable(error) bool` predicate (internal/srb and corpus
+// stand-ins). Two invariants:
+//
+//   - every package-level `Err*` error value must be classified: the
+//     Retryable body (or a table variable it references) must mention it.
+//     A new error silently falling through to the default is exactly the
+//     bug class the busy-status work fixed by hand.
+//   - every package-level `status*` wire code must be mapped by both
+//     statusToErr and errToStatus, so a new status cannot decode to a
+//     catch-all on one side only.
+type retryclass struct{}
+
+func (retryclass) Name() string { return "retryclass" }
+func (retryclass) Doc() string {
+	return "every Err* value and status* wire code must be classified in the Retryable/status tables"
+}
+
+func (retryclass) Run(pkg *Package) []Diagnostic {
+	retryable := findFuncDecl(pkg, "Retryable")
+	if retryable == nil || !isErrorPredicate(pkg, retryable) {
+		return nil // package does not define the classification convention
+	}
+
+	var diags []Diagnostic
+
+	// Objects mentioned by Retryable, expanded one level through the
+	// initializers of any package-level variables it references (the
+	// retryTerminal/retryTransient tables).
+	classified := referencedObjects(pkg, retryable.Body)
+	for obj := range classified {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Parent() != pkg.Types.Scope() {
+			continue
+		}
+		if init := findVarInit(pkg, v); init != nil {
+			for o := range referencedObjects(pkg, init) {
+				classified[o] = true
+			}
+		}
+	}
+
+	scope := pkg.Types.Scope()
+	names := scope.Names() // sorted
+	errType := types.Universe.Lookup("error").Type()
+	for _, nm := range names {
+		if len(nm) < 4 || nm[:3] != "Err" {
+			continue
+		}
+		v, ok := scope.Lookup(nm).(*types.Var)
+		if !ok || !types.AssignableTo(v.Type(), errType) {
+			continue
+		}
+		if !classified[v] {
+			diags = append(diags, pkg.diag(v.Pos(), "retryclass",
+				"%s is not classified by Retryable: add it to the retryable or terminal table", nm))
+		}
+	}
+
+	// Wire status mapping, when the package has both mapping functions.
+	toErr := findFuncDecl(pkg, "statusToErr")
+	toStatus := findFuncDecl(pkg, "errToStatus")
+	if toErr == nil || toStatus == nil {
+		return diags
+	}
+	inToErr := referencedObjects(pkg, toErr.Body)
+	inToStatus := referencedObjects(pkg, toStatus.Body)
+	for _, nm := range names {
+		if len(nm) < 7 || nm[:6] != "status" {
+			continue
+		}
+		c, ok := scope.Lookup(nm).(*types.Const)
+		if !ok {
+			continue
+		}
+		var missing []string
+		if !inToErr[c] {
+			missing = append(missing, "statusToErr")
+		}
+		if !inToStatus[c] {
+			missing = append(missing, "errToStatus")
+		}
+		sort.Strings(missing)
+		for _, fn := range missing {
+			diags = append(diags, pkg.diag(c.Pos(), "retryclass",
+				"wire code %s is not mapped by %s: a new status must round-trip both directions", nm, fn))
+		}
+	}
+	return diags
+}
+
+// isErrorPredicate reports whether fn has the func(error) bool shape.
+func isErrorPredicate(pkg *Package, fn *ast.FuncDecl) bool {
+	obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.Identical(sig.Params().At(0).Type(), errType) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// findFuncDecl locates a package-level function declaration by name.
+func findFuncDecl(pkg *Package, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// findVarInit returns the initializer expression of a package-level var.
+func findVarInit(pkg *Package, v *types.Var) ast.Expr {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if pkg.Info.Defs[name] != v {
+						continue
+					}
+					if i < len(vs.Values) {
+						return vs.Values[i]
+					}
+					if len(vs.Values) == 1 {
+						return vs.Values[0]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// referencedObjects collects every object an AST subtree mentions.
+func referencedObjects(pkg *Package, n ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if n == nil {
+		return out
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

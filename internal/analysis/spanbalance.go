@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// spanbalance checks that every trace span started with Begin/BeginServer
+// (or a function whose summary says it returns a fresh span) is Ended on
+// every path. The conditional-tracing idiom
+//
+//	var sp trace.Span
+//	if traced { sp = tr.Begin(...) }
+//	...
+//	if traced { tr.Observe(..., sp.End(...)) }
+//
+// stays silent: the walker only reports definite imbalances, and a span
+// begun on only some paths degrades to Maybe at the join. Passing a span
+// to a callee that Ends it (any path) transfers the obligation, as does
+// storing it in a struct field — field-resident spans are tracked by
+// whoever owns the struct.
+type spanbalance struct{}
+
+func (spanbalance) Name() string { return "spanbalance" }
+func (spanbalance) Doc() string {
+	return "every trace span Begin must have an End on all paths (definite leaks, double Ends and discarded spans)"
+}
+
+func (spanbalance) Run(pkg *Package) []Diagnostic {
+	ps := pkg.summaries()
+	var diags []Diagnostic
+	hooks := &ownHooks{
+		rule: "spanbalance",
+		what: "trace span",
+		isAcquire: func(call *ast.CallExpr) (string, bool) {
+			if !ps.isSpanSource(call) {
+				return "", false
+			}
+			return types.ExprString(call.Fun), true
+		},
+		releaseTarget: func(call *ast.CallExpr) ast.Expr {
+			return spanEndTarget(pkg, call)
+		},
+		releaseName: "End",
+		transfersArg: func(call *ast.CallExpr, i int) bool {
+			fn := pkg.calleeFunc(call)
+			if fn == nil {
+				return false
+			}
+			cs := ps.funcs[fn]
+			return cs != nil && cs.endsParams[i]
+		},
+		// Spans stored in fields (engine's task.queued) are owned by the
+		// struct's lifecycle, not this function: no escape report.
+		reportEscapeStore: false,
+	}
+	runOwnScan(pkg, hooks, &diags)
+	return diags
+}

@@ -1,0 +1,665 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the interprocedural substrate the PR-6 rules stand on:
+// a package-level call graph plus one summary per function body recording
+// the facts that must survive a call boundary — which locks it acquires
+// (directly and transitively), which parameters it releases back to the
+// buffer pool, which span parameters it Ends, and whether its return value
+// is pool-owned. Summaries are computed once per package and cached on the
+// Package, so the five rules that consume them share one pass.
+
+// funcSummary is the per-function fact sheet. Function literals get
+// summaries too (they hold lock facts for lockorder and goexit), but only
+// declared functions are reachable through the call graph.
+type funcSummary struct {
+	fn   *types.Func    // nil for function literals
+	decl *ast.FuncDecl  // nil for function literals
+	body *ast.BlockStmt // the analyzed body
+	name string         // display name ("(*Conn).call", "func literal")
+
+	// calls are the statically resolved same-package call sites, in
+	// document order. Calls through interfaces, function values and method
+	// values are unresolvable without whole-program analysis and are
+	// deliberately absent: every consumer treats a missing edge as
+	// "unknown callee", never as "does nothing".
+	calls []callSite
+
+	// acquires maps each mutex this body locks (by field/var identity) to
+	// its first acquisition site.
+	acquires map[types.Object]lockSite
+	// pairs records "inner acquired while outer held" orderings observed
+	// inside this body.
+	pairs []lockPair
+	// heldCalls records same-package calls made while at least one lock is
+	// held; lockorder extends the order graph through them.
+	heldCalls []heldCall
+
+	// returnsPooled / returnsSpan mark functions whose return value is a
+	// getBuf-owned buffer (resp. a freshly begun trace span); callers
+	// inherit the release obligation. Fixpoint-propagated.
+	returnsPooled bool
+	returnsSpan   bool
+	// releasesParams / endsParams mark parameter indexes the function
+	// putBufs (resp. Ends) on at least one path: passing a tracked value
+	// there transfers ownership. Fixpoint-propagated.
+	releasesParams map[int]bool
+	endsParams     map[int]bool
+}
+
+type callSite struct {
+	callee *types.Func
+	call   *ast.CallExpr
+}
+
+type lockSite struct {
+	pos  token.Pos
+	name string // printed receiver expression, e.g. "c.mu"
+}
+
+type lockPair struct {
+	outer, inner types.Object
+	pos          token.Pos // where inner was acquired under outer
+}
+
+type heldCall struct {
+	callee *types.Func
+	held   []types.Object
+	pos    token.Pos
+}
+
+// pkgSummaries is the cached interprocedural state for one package.
+type pkgSummaries struct {
+	pkg   *Package
+	funcs map[*types.Func]*funcSummary
+	order []*funcSummary // declared funcs then literals, in position order
+
+	// getBuf/putBuf are the package's pool entry points when it defines
+	// the bufpool convention, nil otherwise (pooluse is inert then).
+	getBuf, putBuf *types.Func
+
+	// lockNames assigns each lock object one canonical display name (the
+	// lexically first acquisition's receiver expression).
+	lockNames map[types.Object]string
+
+	transMemo map[*types.Func]map[types.Object]lockSite
+}
+
+// summaries builds (once) and returns the package's interprocedural facts.
+func (p *Package) summaries() *pkgSummaries {
+	if p.summ == nil {
+		p.summ = buildSummaries(p)
+	}
+	return p.summ
+}
+
+func buildSummaries(p *Package) *pkgSummaries {
+	ps := &pkgSummaries{
+		pkg:       p,
+		funcs:     map[*types.Func]*funcSummary{},
+		lockNames: map[types.Object]string{},
+		transMemo: map[*types.Func]map[types.Object]lockSite{},
+	}
+	ps.getBuf = ps.poolFunc("getBuf")
+	ps.putBuf = ps.poolFunc("putBuf")
+
+	// Pass 1: one summary per function body.
+	for _, f := range p.Files {
+		funcScopes(f, func(sc *funcScope) {
+			s := &funcSummary{
+				body:           sc.body,
+				name:           sc.name,
+				acquires:       map[types.Object]lockSite{},
+				releasesParams: map[int]bool{},
+				endsParams:     map[int]bool{},
+			}
+			if decl, ok := sc.node.(*ast.FuncDecl); ok {
+				fn, _ := p.Info.Defs[decl.Name].(*types.Func)
+				if fn == nil {
+					return
+				}
+				s.fn, s.decl = fn, decl
+				ps.funcs[fn] = s
+			}
+			ps.order = append(ps.order, s)
+		})
+	}
+	sort.SliceStable(ps.order, func(i, j int) bool {
+		return ps.order[i].body.Pos() < ps.order[j].body.Pos()
+	})
+
+	// Pass 2: walk each body once collecting call sites and lock facts.
+	for _, s := range ps.order {
+		lt := &lockTracker{ps: ps, s: s}
+		lt.stmts(s.body.List, map[types.Object]token.Pos{})
+	}
+
+	// Pass 3: fixpoints across the call graph.
+	ps.propagate()
+	return ps
+}
+
+// poolFunc finds the package-level bufpool entry point by name and shape.
+func (ps *pkgSummaries) poolFunc(name string) *types.Func {
+	obj := ps.pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return nil
+	}
+	switch name {
+	case "getBuf":
+		if sig.Results().Len() != 1 {
+			return nil
+		}
+		if _, ok := sig.Results().At(0).Type().Underlying().(*types.Slice); !ok {
+			return nil
+		}
+	case "putBuf":
+		if _, ok := sig.Params().At(0).Type().Underlying().(*types.Slice); !ok {
+			return nil
+		}
+	}
+	return fn
+}
+
+// propagate runs the interprocedural fixpoints: pool ownership of returns,
+// param releases and span Ends flow from callees to callers until stable.
+// Recursion terminates because facts only ever flip false -> true.
+func (ps *pkgSummaries) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, s := range ps.order {
+			if s.fn == nil {
+				continue // literals are not callable by name
+			}
+			if !s.returnsPooled && ps.getBuf != nil && ps.bodyReturns(s, ps.isPooledSource) {
+				s.returnsPooled = true
+				changed = true
+			}
+			if !s.returnsSpan && ps.bodyReturns(s, ps.isSpanSource) {
+				s.returnsSpan = true
+				changed = true
+			}
+			sig := s.fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				param := sig.Params().At(i)
+				if ps.putBuf != nil && !s.releasesParams[i] && ps.bodyHandsOff(s, param, ps.releasedBy) {
+					s.releasesParams[i] = true
+					changed = true
+				}
+				if !s.endsParams[i] && ps.bodyHandsOff(s, param, ps.endedBy) {
+					s.endsParams[i] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// isPooledSource reports whether call yields a pool-owned buffer: a direct
+// getBuf or a same-package function known to return one.
+func (ps *pkgSummaries) isPooledSource(call *ast.CallExpr) bool {
+	fn := ps.pkg.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if fn == ps.getBuf {
+		return true
+	}
+	cs := ps.funcs[fn]
+	return cs != nil && cs.returnsPooled
+}
+
+// isSpanSource reports whether call yields a freshly started trace span: a
+// Begin/BeginServer method returning a named Span, or a same-package
+// function known to return one.
+func (ps *pkgSummaries) isSpanSource(call *ast.CallExpr) bool {
+	fn := ps.pkg.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if cs := ps.funcs[fn]; cs != nil && cs.returnsSpan {
+		return true
+	}
+	if fn.Name() != "Begin" && fn.Name() != "BeginServer" {
+		return false
+	}
+	return isSpanType(ps.pkg.Info.TypeOf(call))
+}
+
+// isSpanType reports whether t (through one pointer) is a named type
+// called Span — the trace package's span and corpus stand-ins alike.
+func isSpanType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj() != nil && n.Obj().Name() == "Span"
+}
+
+// spanEndTarget returns the receiver expression when call is
+// <span>.End(...), nil otherwise.
+func spanEndTarget(p *Package, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	if _, isMethod := p.Info.Selections[sel]; !isMethod {
+		return nil
+	}
+	if !isSpanType(p.Info.TypeOf(sel.X)) {
+		return nil
+	}
+	return sel.X
+}
+
+// releasedBy reports whether call releases v: putBuf(v) directly, or v
+// passed at a parameter position the callee is known to release.
+func (ps *pkgSummaries) releasedBy(call *ast.CallExpr, v *types.Var) bool {
+	fn := ps.pkg.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if fn == ps.putBuf {
+		return len(call.Args) == 1 && ps.argIs(call.Args[0], v)
+	}
+	cs := ps.funcs[fn]
+	if cs == nil {
+		return false
+	}
+	for i, arg := range call.Args {
+		if cs.releasesParams[i] && ps.argIs(arg, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// endedBy reports whether call Ends span v: v.End(...) directly, or v
+// passed at a parameter position the callee is known to End.
+func (ps *pkgSummaries) endedBy(call *ast.CallExpr, v *types.Var) bool {
+	if tgt := spanEndTarget(ps.pkg, call); tgt != nil {
+		return ps.argIs(tgt, v)
+	}
+	fn := ps.pkg.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	cs := ps.funcs[fn]
+	if cs == nil {
+		return false
+	}
+	for i, arg := range call.Args {
+		if cs.endsParams[i] && ps.argIs(arg, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ps *pkgSummaries) argIs(arg ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	return ok && ps.pkg.Info.Uses[id] == v
+}
+
+// bodyReturns reports whether any return in s's own body (literals
+// excluded) yields a value produced by a call matching src, either
+// directly or through a local variable bound to one.
+func (ps *pkgSummaries) bodyReturns(s *funcSummary, src func(*ast.CallExpr) bool) bool {
+	// Locals bound (anywhere in the body) to a matching call.
+	bound := map[types.Object]bool{}
+	ownNodes(s.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !src(call) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := ps.pkg.Info.Defs[id]; obj != nil {
+					bound[obj] = true
+				} else if obj := ps.pkg.Info.Uses[id]; obj != nil {
+					bound[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ownNodes(s.body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && src(call) {
+				found = true
+			}
+			if root := rootIdent(res); root != nil {
+				if obj := ps.pkg.Info.Uses[root]; obj != nil && bound[obj] {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHandsOff reports whether s's own body contains a call that hands
+// parameter v off according to via (release or End).
+func (ps *pkgSummaries) bodyHandsOff(s *funcSummary, v *types.Var, via func(*ast.CallExpr, *types.Var) bool) bool {
+	found := false
+	ownNodes(s.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && via(call, v) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// transitiveAcquires returns every lock fn can take, directly or through
+// same-package callees. Memoized; recursion is handled by seeding the memo
+// before descending (a cycle contributes what is known so far, and the
+// outer fixpoint structure of the DFS converges because lock sets only
+// grow along the first complete traversal).
+func (ps *pkgSummaries) transitiveAcquires(fn *types.Func) map[types.Object]lockSite {
+	if got, ok := ps.transMemo[fn]; ok {
+		return got
+	}
+	out := map[types.Object]lockSite{}
+	ps.transMemo[fn] = out
+	s := ps.funcs[fn]
+	if s == nil {
+		return out
+	}
+	for obj, site := range s.acquires {
+		out[obj] = site
+	}
+	for _, cs := range s.calls {
+		for obj, site := range ps.transitiveAcquires(cs.callee) {
+			if _, ok := out[obj]; !ok {
+				out[obj] = site
+			}
+		}
+	}
+	return out
+}
+
+// lockObject resolves a mutex receiver expression to its identity: the
+// field or variable object, shared across all instances of the type. That
+// is the right granularity for an acquisition-order graph; instance-level
+// aliasing (two objects of the same type locked in address order) is out
+// of scope and self-pairs are dropped by the rule.
+func (p *Package) lockObject(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// lockTracker walks one function body collecting lock facts and call
+// sites. It reuses lockheld's sequential model: branches run on cloned
+// held-sets, fall-through outcomes are unioned, terminating branches do
+// not leak state, deferred unlocks keep the mutex held to the end.
+type lockTracker struct {
+	ps *pkgSummaries
+	s  *funcSummary
+}
+
+func lockClone(h map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (lt *lockTracker) stmts(list []ast.Stmt, held map[types.Object]token.Pos) {
+	for _, st := range list {
+		lt.stmt(st, held)
+	}
+}
+
+func (lt *lockTracker) branch(list []ast.Stmt, held map[types.Object]token.Pos) (map[types.Object]token.Pos, bool) {
+	c := lockClone(held)
+	lt.stmts(list, c)
+	return c, terminates(list)
+}
+
+func lockMerge(held map[types.Object]token.Pos, outcomes []map[types.Object]token.Pos) {
+	for k := range held {
+		delete(held, k)
+	}
+	for _, o := range outcomes {
+		for k, v := range o {
+			held[k] = v
+		}
+	}
+}
+
+func (lt *lockTracker) stmt(st ast.Stmt, held map[types.Object]token.Pos) {
+	switch t := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if lt.lockOp(t.X, held) {
+			return
+		}
+		lt.expr(t.X, held)
+	case *ast.DeferStmt:
+		// Deferred unlocks keep the lock held to return; deferred calls
+		// still run as part of this function, so they stay in the call
+		// graph, but with an unknown held-set (empty here).
+		if !lt.lockOp(t.Call, nil) {
+			lt.expr(t.Call, nil)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine: its calls are not
+		// this function's, and locks held here do not order against it.
+		// Arguments are still evaluated synchronously.
+		for _, a := range t.Call.Args {
+			lt.expr(a, held)
+		}
+	case *ast.SendStmt:
+		lt.expr(t.Chan, held)
+		lt.expr(t.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range t.Rhs {
+			lt.expr(e, held)
+		}
+		for _, e := range t.Lhs {
+			lt.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lt.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range t.Results {
+			lt.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		lt.expr(t.X, held)
+	case *ast.LabeledStmt:
+		lt.stmt(t.Stmt, held)
+	case *ast.BlockStmt:
+		lt.stmts(t.List, held)
+	case *ast.IfStmt:
+		lt.stmt(t.Init, held)
+		lt.expr(t.Cond, held)
+		var outcomes []map[types.Object]token.Pos
+		thenHeld, thenTerm := lt.branch(t.Body.List, held)
+		if !thenTerm {
+			outcomes = append(outcomes, thenHeld)
+		}
+		if t.Else != nil {
+			elseHeld, elseTerm := lt.branch([]ast.Stmt{t.Else}, held)
+			if !elseTerm {
+				outcomes = append(outcomes, elseHeld)
+			}
+		} else {
+			outcomes = append(outcomes, lockClone(held))
+		}
+		if len(outcomes) > 0 {
+			lockMerge(held, outcomes)
+		}
+	case *ast.ForStmt:
+		lt.stmt(t.Init, held)
+		lt.expr(t.Cond, held)
+		body, term := lt.branch(t.Body.List, held)
+		lt.stmt(t.Post, lockClone(body))
+		outcomes := []map[types.Object]token.Pos{lockClone(held)}
+		if !term {
+			outcomes = append(outcomes, body)
+		}
+		lockMerge(held, outcomes)
+	case *ast.RangeStmt:
+		lt.expr(t.X, held)
+		body, term := lt.branch(t.Body.List, held)
+		outcomes := []map[types.Object]token.Pos{lockClone(held)}
+		if !term {
+			outcomes = append(outcomes, body)
+		}
+		lockMerge(held, outcomes)
+	case *ast.SwitchStmt:
+		lt.stmt(t.Init, held)
+		lt.expr(t.Tag, held)
+		lt.caseBodies(t.Body, held)
+	case *ast.TypeSwitchStmt:
+		lt.stmt(t.Init, held)
+		lt.stmt(t.Assign, held)
+		lt.caseBodies(t.Body, held)
+	case *ast.SelectStmt:
+		lt.caseBodies(t.Body, held)
+	}
+}
+
+func (lt *lockTracker) caseBodies(body *ast.BlockStmt, held map[types.Object]token.Pos) {
+	outcomes := []map[types.Object]token.Pos{lockClone(held)}
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			list = cc.Body
+		default:
+			continue
+		}
+		out, term := lt.branch(list, held)
+		if !term {
+			outcomes = append(outcomes, out)
+		}
+	}
+	lockMerge(held, outcomes)
+}
+
+// lockOp recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a sync mutex,
+// updates held, and records acquisition facts. held == nil means "apply
+// nothing" (deferred unlock).
+func (lt *lockTracker) lockOp(e ast.Expr, held map[types.Object]token.Pos) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return false
+	}
+	p := lt.ps.pkg
+	if !isMutexType(p.Info.TypeOf(sel.X)) {
+		return false
+	}
+	obj := p.lockObject(sel.X)
+	if obj == nil || held == nil {
+		return true
+	}
+	if locks {
+		name := exprKey(sel.X)
+		if _, ok := lt.ps.lockNames[obj]; !ok {
+			lt.ps.lockNames[obj] = name
+		}
+		for outer := range held {
+			if outer != obj {
+				lt.s.pairs = append(lt.s.pairs, lockPair{outer: outer, inner: obj, pos: call.Pos()})
+			}
+		}
+		if _, ok := held[obj]; !ok {
+			held[obj] = call.Pos()
+		}
+		if _, ok := lt.s.acquires[obj]; !ok {
+			lt.s.acquires[obj] = lockSite{pos: call.Pos(), name: name}
+		}
+	} else {
+		delete(held, obj)
+	}
+	return true
+}
+
+// expr scans an expression for same-package call sites, without
+// descending into function literals (they get their own summaries).
+func (lt *lockTracker) expr(e ast.Expr, held map[types.Object]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			lt.recordCall(call, held)
+		}
+		return true
+	})
+}
+
+func (lt *lockTracker) recordCall(call *ast.CallExpr, held map[types.Object]token.Pos) {
+	fn := lt.ps.pkg.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	if _, ok := lt.ps.funcs[fn]; !ok {
+		return // not a declared same-package function
+	}
+	lt.s.calls = append(lt.s.calls, callSite{callee: fn, call: call})
+	if len(held) > 0 {
+		objs := make([]types.Object, 0, len(held))
+		for obj := range held {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+		lt.s.heldCalls = append(lt.s.heldCalls, heldCall{callee: fn, held: objs, pos: call.Pos()})
+	}
+}

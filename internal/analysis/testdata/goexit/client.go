@@ -1,0 +1,112 @@
+// Corpus for the goexit rule. The file is named client.go so the package
+// is in the rule's scope (connection-lifecycle packages). Lines marked
+// "violation" must each produce a diagnostic; goexit reports at the `go`
+// statement that launches the unexitable goroutine.
+package goexit
+
+import (
+	"io"
+	"sync"
+)
+
+func step() bool { return true }
+
+func spinForever() {
+	go func() { // violation: the loop below has no return, break or panic
+		for {
+			step()
+		}
+	}()
+}
+
+// worker has exits but nothing — no conn read, channel, context or flag —
+// ever triggers them.
+func worker() {
+	for {
+		if step() {
+			return
+		}
+	}
+}
+
+func spawnWorker() {
+	go worker() // violation: loops forever with no exit key
+}
+
+// Reader goroutines keyed on a connection read are fine: the read fails
+// once the conn closes.
+func readLoop(r io.Reader) {
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := r.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Done-channel exits are fine: select is an exit key.
+func withDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// Cond.Wait parks the goroutine and the closed flag routes it out.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+}
+
+func (p *pool) run() {
+	for {
+		p.mu.Lock()
+		for !p.closed {
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+		return
+	}
+}
+
+func (p *pool) start() {
+	go p.run() // ok: Cond.Wait plus the closed flag
+}
+
+// Range over a channel ends when the channel closes.
+func consume(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Bounded goroutines (no unconditional loop) need no key.
+func fireAndForget() {
+	go step() // ok
+}
+
+// Transitive: the goroutine's own body is clean, but a callee spins.
+func spinCallee() {
+	for {
+		step()
+	}
+}
+
+func launchIndirect() {
+	go indirect() // violation: indirect -> spinCallee can never exit
+}
+
+func indirect() {
+	spinCallee()
+}

@@ -1,0 +1,112 @@
+// Corpus for the lockorder rule: the package-wide mutex acquisition
+// graph must be cycle-free. Lines marked "violation" must each produce a
+// diagnostic; note a cycle is reported exactly once, at the edge the
+// (deterministic, name-ordered) DFS sees closing it.
+package lockorder
+
+import "sync"
+
+// Direct two-lock cycle: a -> b in lockAB, b -> a in lockBA.
+type pair struct {
+	a, b sync.Mutex
+}
+
+func (p *pair) lockAB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // violation: reverses lockAB's a -> b order
+	p.a.Unlock()
+}
+
+// Interprocedural cycle: down holds root while a callee takes leaf; up
+// holds leaf while a callee takes root. The DFS reports the root -> leaf
+// edge (the call site in down) when it closes the cycle.
+type tree struct {
+	root, leaf sync.Mutex
+}
+
+func (t *tree) down() {
+	t.root.Lock()
+	defer t.root.Unlock()
+	t.lockLeaf() // violation: root -> leaf, reversed by up() via lockRoot()
+}
+
+func (t *tree) lockLeaf() {
+	t.leaf.Lock()
+	defer t.leaf.Unlock()
+}
+
+func (t *tree) up() {
+	t.leaf.Lock()
+	defer t.leaf.Unlock()
+	t.lockRoot()
+}
+
+func (t *tree) lockRoot() {
+	t.root.Lock()
+	defer t.root.Unlock()
+}
+
+// Three-lock cycle built from consistent-looking pieces.
+type ring struct {
+	x, y, z sync.Mutex
+}
+
+func (r *ring) xy() {
+	r.x.Lock()
+	r.y.Lock()
+	r.y.Unlock()
+	r.x.Unlock()
+}
+
+func (r *ring) yz() {
+	r.y.Lock()
+	r.z.Lock()
+	r.z.Unlock()
+	r.y.Unlock()
+}
+
+func (r *ring) zx() {
+	r.z.Lock()
+	r.x.Lock() // violation: closes x -> y -> z -> x
+	r.x.Unlock()
+	r.z.Unlock()
+}
+
+// Consistent nesting is fine in any number of functions.
+type clean struct {
+	outer, inner sync.Mutex
+}
+
+func (c *clean) nested() {
+	c.outer.Lock()
+	defer c.outer.Unlock()
+	c.inner.Lock() // ok: same order everywhere
+	c.inner.Unlock()
+}
+
+func (c *clean) alsoNested() {
+	c.outer.Lock()
+	c.inner.Lock()
+	c.inner.Unlock()
+	c.outer.Unlock()
+}
+
+// Branch-local locking does not invent orderings: the then-branch
+// releases before the else-lock can be confused with it.
+func (c *clean) branches(which bool) {
+	if which {
+		c.outer.Lock()
+		c.outer.Unlock()
+	} else {
+		c.inner.Lock()
+		c.inner.Unlock()
+	}
+}

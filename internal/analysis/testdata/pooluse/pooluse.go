@@ -1,0 +1,130 @@
+// Corpus for the pooluse rule: the bufpool ownership discipline. Lines
+// marked "violation" must each produce a diagnostic.
+package pooluse
+
+import "errors"
+
+var errFill = errors.New("fill failed")
+
+// The pool convention the rule keys on.
+func getBuf(n int) []byte { return make([]byte, n) }
+func putBuf(b []byte)     { _ = b }
+
+func fill(b []byte) error {
+	if len(b) == 0 {
+		return errFill
+	}
+	return nil
+}
+
+// wrapBuf returns a pooled buffer: callers inherit the putBuf obligation
+// through the interprocedural summary.
+func wrapBuf(n int) []byte {
+	b := getBuf(n)
+	return b // ok: ownership transfers to the caller
+}
+
+// releaseHelper releases its parameter: passing a buffer here is a put.
+func releaseHelper(b []byte) {
+	putBuf(b)
+}
+
+func leakOnError() error {
+	b := getBuf(64)
+	if err := fill(b); err != nil {
+		return err // violation: the error path leaks b
+	}
+	putBuf(b)
+	return nil
+}
+
+func doublePut() {
+	b := getBuf(64)
+	putBuf(b)
+	putBuf(b) // violation: released twice
+}
+
+func useAfterPut() byte {
+	b := getBuf(64)
+	putBuf(b)
+	return b[0] // violation: use after put
+}
+
+func discarded() {
+	getBuf(64) // violation: result discarded, can never be released
+}
+
+type holder struct{ buf []byte }
+
+func (h *holder) stash() {
+	h.buf = getBuf(64) // violation: escapes into state that outlives the call
+}
+
+func interprocLeak(fail bool) error {
+	b := wrapBuf(32)
+	if fail {
+		return errFill // violation: wrapBuf's buffer leaks on the error path
+	}
+	putBuf(b)
+	return nil
+}
+
+func neverReleased() {
+	b := getBuf(16) // violation: no putBuf on any path
+	if err := fill(b); err != nil {
+		return
+	}
+}
+
+func viaHelper() {
+	b := getBuf(8)
+	releaseHelper(b) // ok: the callee releases it
+}
+
+func deferRelease() error {
+	b := getBuf(64)
+	defer putBuf(b)
+	return fill(b) // ok: the deferred release covers every return
+}
+
+func deferLitRelease() error {
+	b := getBuf(64)
+	defer func() {
+		putBuf(b)
+	}()
+	return fill(b) // ok: released inside the deferred literal
+}
+
+// The conditional acquire/release idiom stays silent: states merge to
+// Maybe at the joins and only definite imbalances report.
+func condBalanced(big bool) {
+	var b []byte
+	if big {
+		b = getBuf(1024)
+	}
+	_ = fill(b)
+	if big {
+		putBuf(b) // ok
+	}
+}
+
+type frame struct{ data []byte }
+
+func escapeLocal() *frame {
+	f := &frame{}
+	f.data = getBuf(128)
+	return f // ok: stored in a local struct the caller takes over
+}
+
+func send(fr *frame) { _ = fr }
+
+func compositeTransfer() {
+	b := getBuf(256)
+	send(&frame{data: b}) // ok: ownership moved into the frame
+}
+
+func sliceRebind() {
+	b := getBuf(512)
+	b = b[:8] // ok: same backing buffer
+	putBuf(b)
+}

@@ -1,0 +1,66 @@
+// Corpus for the retryclass rule: every Err* value must be classified by
+// Retryable (directly or via a table variable it references) and every
+// status* wire code must round-trip through both statusToErr and
+// errToStatus. Lines marked "violation" must each produce a diagnostic.
+package retryclass
+
+import "errors"
+
+var (
+	ErrNotFound = errors.New("not found")
+	ErrBusy     = errors.New("busy")
+	ErrTimeout  = errors.New("timed out")
+	ErrOrphan   = errors.New("orphan") // violation: in neither retry table
+)
+
+const (
+	statusOK int32 = iota
+	statusNotFound
+	statusBusy
+	statusStale // violation: mapped by neither statusToErr nor errToStatus
+)
+
+var retryTransient = []error{ErrBusy, ErrTimeout}
+
+var retryTerminal = []error{ErrNotFound}
+
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, transient := range retryTransient {
+		if errors.Is(err, transient) {
+			return true
+		}
+	}
+	for _, terminal := range retryTerminal {
+		if errors.Is(err, terminal) {
+			return false
+		}
+	}
+	return true
+}
+
+func statusToErr(st int32) error {
+	switch st {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return ErrNotFound
+	case statusBusy:
+		return ErrBusy
+	}
+	return ErrNotFound
+}
+
+func errToStatus(err error) int32 {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrNotFound):
+		return statusNotFound
+	case errors.Is(err, ErrBusy):
+		return statusBusy
+	}
+	return statusNotFound
+}

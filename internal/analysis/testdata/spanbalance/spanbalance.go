@@ -1,0 +1,111 @@
+// Corpus for the spanbalance rule: every Begin needs an End on all
+// paths. Lines marked "violation" must each produce a diagnostic.
+package spanbalance
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+// Minimal stand-ins for the trace package: the rule keys on methods named
+// Begin/BeginServer returning a named Span, and End on that Span.
+type Span struct {
+	id int64
+}
+
+func (s Span) End() int64 { return s.id }
+
+type Tracer struct {
+	enabled bool
+}
+
+func (t *Tracer) Enabled() bool { return t.enabled }
+
+func (t *Tracer) Begin(cat, name string) Span { return Span{id: 1} }
+
+func (t *Tracer) BeginServer(cat, name string) Span { return Span{id: 2} }
+
+func (t *Tracer) Observe(name string, d int64) {}
+
+// endHelper Ends its parameter: passing a span there transfers the
+// obligation through the interprocedural summary.
+func endHelper(sp Span) {
+	sp.End()
+}
+
+// startOp returns a fresh span: callers inherit the End obligation.
+func startOp(t *Tracer) Span {
+	return t.Begin("op", "start")
+}
+
+func leakOnError(t *Tracer, fail bool) error {
+	sp := t.Begin("wire", "call")
+	if fail {
+		return errBoom // violation: the error path never Ends sp
+	}
+	t.Observe("wire.call", sp.End())
+	return nil
+}
+
+func doubleEnd(t *Tracer) {
+	sp := t.Begin("wire", "call")
+	sp.End()
+	sp.End() // violation: Ended twice
+}
+
+func neverEnded(t *Tracer) {
+	sp := t.BeginServer("server", "dispatch") // violation: no End on any path
+	_ = sp
+}
+
+func discardedSpan(t *Tracer) {
+	t.Begin("wire", "oops") // violation: span discarded, can never End
+}
+
+func viaWrapper(t *Tracer, fail bool) {
+	sp := startOp(t)
+	if fail {
+		return // violation: the wrapper-started span leaks here
+	}
+	sp.End()
+}
+
+func viaHelper(t *Tracer) {
+	sp := t.Begin("wire", "call")
+	endHelper(sp) // ok: the callee Ends it
+}
+
+// The conditional-tracing idiom stays silent: the span is begun and Ended
+// under the same guard, so its state is Maybe at every join and only
+// definite imbalances report.
+func conditional(t *Tracer, n int) int {
+	var sp Span
+	traced := t.Enabled()
+	if traced {
+		sp = t.Begin("wire", "cond")
+	}
+	n *= 2
+	if traced {
+		t.Observe("wire.cond", sp.End())
+	}
+	return n
+}
+
+type task struct {
+	queued Span
+}
+
+// Field-resident spans belong to the struct's lifecycle, not to any one
+// function: the store is a transfer, the later End a plain call.
+func enqueue(t *Tracer, tk *task) {
+	tk.queued = t.Begin("engine", "queued")
+}
+
+func finish(tk *task) int64 {
+	return tk.queued.End()
+}
+
+func deferredEnd(t *Tracer) error {
+	sp := t.Begin("wire", "call")
+	defer sp.End()
+	return errBoom // ok: the deferred End covers every return
+}

@@ -1,6 +1,9 @@
 package srb
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Payload buffer pooling. Every request and response that carries data used
 // to pay one make([]byte, dataLen) on the read side of the wire — at small
@@ -37,6 +40,13 @@ var bufPools = func() []*sync.Pool {
 	return pools
 }()
 
+// bufPoolGets/bufPoolPuts count pooled hand-outs and returns. On an idle
+// system the two converge (transient imbalance is fine: buffers legally
+// parked in in-flight requests, or retained for the GC by the metadata
+// paths); tests diff them around leak-prone error paths, where every get
+// must be matched.
+var bufPoolGets, bufPoolPuts atomic.Int64
+
 // getBuf returns a buffer of length n backed by pooled storage. n larger
 // than MaxChunk (which the protocol bounds reject anyway) falls back to a
 // plain allocation.
@@ -44,6 +54,7 @@ func getBuf(n int) []byte {
 	for i, size := range bufClasses {
 		if n <= size {
 			b := *bufPools[i].Get().(*[]byte)
+			bufPoolGets.Add(1)
 			return b[:n]
 		}
 	}
@@ -59,6 +70,7 @@ func putBuf(b []byte) {
 		if c == size {
 			b = b[:size]
 			bufPools[i].Put(&b)
+			bufPoolPuts.Add(1)
 			return
 		}
 	}

@@ -193,11 +193,16 @@ func statusToErr(st int32, msg string) error {
 		base = ErrInvalid
 	case statusNotEmpty:
 		base = ErrNotEmpty
+	case statusIO:
+		base = ErrIO
 	case statusPerm:
 		base = ErrPerm
 	case statusBusy:
 		base = ErrServerBusy
 	default:
+		// Unknown codes (a newer server) degrade to the generic I/O
+		// error. Known codes must be mapped explicitly above — the
+		// retryclass lint rule rejects any status relying on this arm.
 		base = ErrIO
 	}
 	if msg != "" {

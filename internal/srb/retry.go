@@ -93,45 +93,62 @@ func (p RetryPolicy) Backoff(retry int) time.Duration {
 	return time.Duration(d)
 }
 
+// retryTransient is the explicit list of errors whose operation can be
+// reissued:
+//
+//   - ErrServerBusy: overload shedding; the server refused the request
+//     without starting it, so a backed-off replay is always safe — and,
+//     unlike transport errors, it does not require a fresh connection.
+//   - ErrTimeout: the per-operation deadline fired and the watchdog
+//     severed the connection; retryable on a fresh one.
+//   - ErrTransport: the wire itself failed mid-exchange; sticky on its
+//     connection, retryable on a new one.
+//   - ErrConnClosed / ErrServerClosed: the call raced a deliberate local
+//     Close or a server drain; the operation never completed and a replay
+//     elsewhere is safe.
+var retryTransient = []error{
+	ErrServerBusy,
+	ErrTimeout,
+	ErrTransport,
+	ErrConnClosed,
+	ErrServerClosed,
+}
+
+// retryTerminal is the explicit list of errors where replay cannot help:
+// definitive server statements (ENOENT, EEXIST, permission, protocol
+// violations), semantic short reads (io.EOF is a result, not a failure —
+// transport EOFs are wrapped in ErrTransport and never reach this
+// comparison), and short writes the server acknowledged without error
+// (e.g. a full device), where blind replay would likely loop.
+var retryTerminal = []error{
+	ErrNotFound, ErrExists, ErrIsDir, ErrNotDir, ErrBadHandle,
+	ErrInvalid, ErrNotEmpty, ErrPerm, ErrIO, ErrProtocol,
+	io.EOF, io.ErrShortWrite,
+}
+
 // Retryable classifies an error from the client stack: true for transient
-// transport-level failures whose operation can safely be reissued on a
-// fresh connection (broken streams, timeouts, dial failures), false for
-// terminal errors where the server made a definitive statement (ENOENT,
-// EEXIST, permission, protocol violations) or where blind replay could
-// loop (persistent short writes).
+// failures whose operation can safely be reissued (see retryTransient),
+// false for terminal ones (see retryTerminal).
 //
 // Unknown errors — raw net errors from a dialer, simulator failures —
 // default to retryable: the reconnect budget bounds the damage, and
 // misclassifying a transient fault as terminal loses a recoverable
-// request.
+// request. Every srb error constant must appear in one of the two tables;
+// the retryclass lint rule enforces that, so a newly added error cannot
+// silently inherit the default.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
 	}
-	// Overload shedding is the one status error that is transient by
-	// design: the server refused the request without starting it, so a
-	// backed-off replay is always safe — and, unlike transport errors, it
-	// does not require a fresh connection.
-	if errors.Is(err, ErrServerBusy) {
-		return true
+	for _, transient := range retryTransient {
+		if errors.Is(err, transient) {
+			return true
+		}
 	}
-	for _, terminal := range []error{
-		ErrNotFound, ErrExists, ErrIsDir, ErrNotDir, ErrBadHandle,
-		ErrInvalid, ErrNotEmpty, ErrPerm, ErrIO, ErrProtocol,
-	} {
+	for _, terminal := range retryTerminal {
 		if errors.Is(err, terminal) {
 			return false
 		}
-	}
-	// A semantic short read is a result, not a failure. Transport EOFs
-	// are wrapped in ErrTransport and never reach this comparison.
-	if errors.Is(err, io.EOF) {
-		return false
-	}
-	// The server acknowledged fewer bytes than sent without raising an
-	// error (e.g. a full device); replaying would likely loop.
-	if errors.Is(err, io.ErrShortWrite) {
-		return false
 	}
 	return true
 }

@@ -448,10 +448,14 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		resp.seq = req.seq
 		putBuf(req.data) // dispatch copied what it kept; recycle the payload
-		if err := writeResponse(bw, resp); err != nil {
+		// Whether or not the write succeeds, the response bytes are dead
+		// after this point (copied into the buffered writer, or the conn
+		// is unusable); recycle before bailing out on error.
+		err := writeResponse(bw, resp)
+		putBuf(resp.data)
+		if err != nil {
 			return
 		}
-		putBuf(resp.data) // response is in the write buffer; recycle
 		if len(reqCh) > 0 {
 			// More requests already parsed: batch this response with the
 			// next ones and keep the conn marked busy, amortizing flushes
@@ -720,6 +724,7 @@ func (ss *session) read(req *request) *response {
 	buf := getBuf(int(n))
 	rn, err := f.obj.ReadAt(buf, off)
 	if err != nil && err != io.EOF {
+		putBuf(buf) // the error response carries no data; recycle now
 		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
 	}
 	if usePointer {
