@@ -57,19 +57,21 @@ fuzz-short:
 
 # Seeded chaos smoke: a full workload under connection kills, partitions,
 # latency spikes and a server crash/restart, with end-to-end checksum
-# verification and leak checks. Deterministic schedule, seconds to run.
+# verification and leak checks, plus the federated variant (three shards,
+# replicated placement, one shard killed mid-write). Deterministic
+# schedules, seconds to run.
 chaos-short:
-	$(GO) test ./internal/chaos -run TestChaosShort -count=1
+	$(GO) test ./internal/chaos -run 'TestChaosShort|TestChaosFederationShort' -count=1
 
 # The full soak (several seeds, every fault class repeatedly); not part of
 # `make check`.
 chaos-long:
 	$(GO) test -tags chaoslong ./internal/chaos -run TestChaosLong -count=1 -v
 
-# Wire hot-path snapshot (pipelining, write coalescing, allocs/op): writes
-# $(BENCH_SNAP) for committing alongside the change it measures, then runs
-# the paper-figure benchmarks.
-BENCH_SNAP ?= BENCH_6.json
+# Wire hot-path snapshot (pipelining, write coalescing, allocs/op,
+# 1-vs-3-server federated striping): writes $(BENCH_SNAP) for committing
+# alongside the change it measures, then runs the paper-figure benchmarks.
+BENCH_SNAP ?= BENCH_8.json
 
 bench:
 	$(GO) run ./cmd/benchsnap -out $(BENCH_SNAP)

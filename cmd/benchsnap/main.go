@@ -12,10 +12,14 @@
 //     vectored-write batching on and off (SRBFSConfig.DisableCoalesce).
 //  3. What does buffer pooling buy? Heap allocations per op on the
 //     small-op hot path, measured with runtime.MemStats.
+//  4. What does federating across servers buy? The same striped write is
+//     pushed through the federated driver against one device-metered
+//     server and against three, so per-server storage bandwidth — the
+//     bottleneck the paper's testbeds hit — is what scales.
 //
 // Usage:
 //
-//	benchsnap [-out BENCH_6.json] [-ops 400] [-size 512] [-depth 16]
+//	benchsnap [-out BENCH_8.json] [-ops 400] [-size 512] [-depth 16]
 //	          [-latency 500us] [-quick]
 package main
 
@@ -31,6 +35,7 @@ import (
 
 	"semplar/internal/adio"
 	"semplar/internal/core"
+	"semplar/internal/mcat"
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
@@ -61,6 +66,11 @@ type config struct {
 	CoalesceOps int   `json:"coalesce_ops"`
 	StripeBytes int   `json:"stripe_bytes"`
 	Streams     int   `json:"streams"`
+
+	FedBytes       int     `json:"fed_bytes"`
+	FedStripeBytes int     `json:"fed_stripe_bytes"`
+	FedServers     int     `json:"fed_servers"`
+	FedWriteMBps   float64 `json:"fed_write_mbps"`
 }
 
 type derived struct {
@@ -70,10 +80,14 @@ type derived struct {
 	// CoalesceSpeedup is the uncoalesced striped write wall time over the
 	// coalesced one.
 	CoalesceSpeedup float64 `json:"coalesce_speedup"`
+	// FederationSpeedup is the 1-server federated striped write wall time
+	// over the FedServers-server one: how much striping across servers
+	// buys when per-server storage bandwidth is the bottleneck.
+	FederationSpeedup float64 `json:"federation_speedup"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "snapshot output path (- for stdout)")
+	out := flag.String("out", "BENCH_8.json", "snapshot output path (- for stdout)")
 	ops := flag.Int("ops", 400, "small ops per scenario")
 	size := flag.Int("size", 512, "bytes per small op")
 	depth := flag.Int("depth", 16, "concurrent in-flight ops in the pipelined scenario")
@@ -81,16 +95,23 @@ func main() {
 	quick := flag.Bool("quick", false, "smoke sizes: a few ops, enough to exercise every path")
 	flag.Parse()
 
+	fedBytes := 16 << 20
 	if *quick {
 		*ops = 40
+		fedBytes = 512 << 10
 	}
 	coalesceOps := *ops
 	stripe := 4 << 10
 	streams := 2
+	fedStripe := 64 << 10
+	fedServers := 3
+	fedMBps := 128.0
 
 	cfg := config{
 		Ops: *ops, OpBytes: *size, OneWayLatNS: int64(*latency), Depth: *depth,
 		CoalesceOps: coalesceOps, StripeBytes: stripe, Streams: streams,
+		FedBytes: fedBytes, FedStripeBytes: fedStripe, FedServers: fedServers,
+		FedWriteMBps: fedMBps,
 	}
 
 	serialized, err := runSmallWrites(*latency, *ops, *size, 1)
@@ -107,15 +128,23 @@ func main() {
 	check(err)
 	coalesced.Name = "striped-write/coalesce-on"
 
+	fedOne, err := runFederatedWrite(*latency, fedBytes, fedStripe, 1, fedMBps)
+	check(err)
+	fedOne.Name = "federated-write/1-server"
+	fedMany, err := runFederatedWrite(*latency, fedBytes, fedStripe, fedServers, fedMBps)
+	check(err)
+	fedMany.Name = fmt.Sprintf("federated-write/%d-servers", fedServers)
+
 	snap := snapshot{
 		Bench:   "wire-pipelining",
 		Tool:    "cmd/benchsnap",
 		Go:      runtime.Version(),
 		Config:  cfg,
-		Results: []result{serialized, pipelined, uncoalesced, coalesced},
+		Results: []result{serialized, pipelined, uncoalesced, coalesced, fedOne, fedMany},
 		Derived: derived{
-			PipelineSpeedup: ratio(serialized.WallNS, pipelined.WallNS),
-			CoalesceSpeedup: ratio(uncoalesced.WallNS, coalesced.WallNS),
+			PipelineSpeedup:   ratio(serialized.WallNS, pipelined.WallNS),
+			CoalesceSpeedup:   ratio(uncoalesced.WallNS, coalesced.WallNS),
+			FederationSpeedup: ratio(fedOne.WallNS, fedMany.WallNS),
 		},
 	}
 
@@ -127,15 +156,21 @@ func main() {
 		check(err)
 	} else {
 		check(os.WriteFile(*out, enc, 0o644))
-		fmt.Printf("wrote %s: pipeline speedup %.2fx, coalesce speedup %.2fx\n",
-			*out, snap.Derived.PipelineSpeedup, snap.Derived.CoalesceSpeedup)
+		fmt.Printf("wrote %s: pipeline speedup %.2fx, coalesce speedup %.2fx, federation speedup %.2fx\n",
+			*out, snap.Derived.PipelineSpeedup, snap.Derived.CoalesceSpeedup,
+			snap.Derived.FederationSpeedup)
 	}
 
-	// A snapshot whose headline number shows no improvement means the hot
+	// A snapshot whose headline numbers show no improvement means a hot
 	// path regressed; fail loudly so CI smoke catches it.
 	if snap.Derived.PipelineSpeedup < 1.0 {
 		fmt.Fprintf(os.Stderr, "benchsnap: pipelining slower than serialized (%.2fx)\n",
 			snap.Derived.PipelineSpeedup)
+		os.Exit(1)
+	}
+	if snap.Derived.FederationSpeedup < 1.0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: %d servers slower than one (%.2fx)\n",
+			fedServers, snap.Derived.FederationSpeedup)
 		os.Exit(1)
 	}
 }
@@ -256,6 +291,68 @@ func runStripedWrite(latency time.Duration, ops, stripe, streams int, disable bo
 	if n != len(buf) {
 		return result{}, fmt.Errorf("striped write wrote %d of %d bytes", n, len(buf))
 	}
+	return result{
+		Ops:     ops,
+		WallNS:  wall.Nanoseconds(),
+		NSPerOp: wall.Nanoseconds() / int64(ops),
+	}, nil
+}
+
+// runFederatedWrite pushes one large striped write through the federated
+// driver against a fleet of `servers` in-process SRB servers, each behind
+// its own device metered at rateMBps — so aggregate storage bandwidth,
+// not the wire, bounds throughput, and adding servers adds bandwidth.
+// Replication is off (width = fleet, one copy per slot): the comparison
+// isolates server-count scaling.
+func runFederatedWrite(latency time.Duration, totalBytes, stripe, servers int, rateMBps float64) (result, error) {
+	placer := mcat.NewPlacer(1)
+	eps := make([]core.Endpoint, servers)
+	for i := 0; i < servers; i++ {
+		name := fmt.Sprintf("s%d", i)
+		srv := srb.NewMemServer(storage.DeviceSpec{
+			Name:      name + "-device",
+			ReadRate:  rateMBps * netsim.MBps,
+			WriteRate: rateMBps * netsim.MBps,
+		})
+		placer.AddServer(name)
+		eps[i] = core.Endpoint{Name: name, Dial: func() (net.Conn, error) {
+			cEnd, sEnd := netsim.Pipe(latency, nil, nil)
+			go srv.ServeConn(sEnd)
+			return cEnd, nil
+		}}
+	}
+	fs, err := core.NewFedFS(core.FedConfig{
+		Endpoints:  eps,
+		Placer:     placer,
+		Width:      servers,
+		User:       "bench",
+		Streams:    2,
+		StripeSize: stripe,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	f, err := fs.Open("/fed.dat", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+
+	buf := make([]byte, totalBytes)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+
+	start := time.Now()
+	n, err := f.WriteAt(buf, 0)
+	wall := time.Since(start)
+	if err != nil {
+		return result{}, err
+	}
+	if n != len(buf) {
+		return result{}, fmt.Errorf("federated write wrote %d of %d bytes", n, len(buf))
+	}
+	ops := totalBytes / stripe
 	return result{
 		Ops:     ops,
 		WallNS:  wall.Nanoseconds(),

@@ -5,10 +5,18 @@
 // Usage:
 //
 //	srbd [-listen :5544] [-root DIR] [-read-mbps N] [-write-mbps N]
+//	srbd -fleet 3 [-name s] [-listen :5544] ...
 //
 // With -root the server persists objects under DIR; otherwise it serves
 // from memory. The rate flags emulate the storage device's sustained
 // bandwidth.
+//
+// With -fleet N the process runs N independent server shards for a
+// federated deployment: shard i is named <name><i> (matching how an MCAT
+// placer registers the fleet), listens on the -listen port plus i, and
+// owns its own store — a subdirectory <root>/<name><i> when persisting,
+// a private memory store otherwise. Each shard is its own fault domain;
+// nothing is shared but the process.
 package main
 
 import (
@@ -20,6 +28,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -28,8 +39,16 @@ import (
 	"semplar/internal/storage"
 )
 
+// shard is one running server of the fleet (the whole deployment when
+// -fleet is 1).
+type shard struct {
+	name string
+	srv  *srb.Server
+	lis  net.Listener
+}
+
 func main() {
-	listen := flag.String("listen", ":5544", "TCP listen address")
+	listen := flag.String("listen", ":5544", "TCP listen address (fleet shard i listens on port+i)")
 	root := flag.String("root", "", "persist objects under this directory (default: in-memory)")
 	readMBps := flag.Float64("read-mbps", 0, "device read bandwidth in MiB/s (0 = unlimited)")
 	writeMBps := flag.Float64("write-mbps", 0, "device write bandwidth in MiB/s (0 = unlimited)")
@@ -37,45 +56,76 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "cap on concurrently served connections (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently executing requests (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight operations on shutdown")
+	fleet := flag.Int("fleet", 1, "number of federated server shards to run")
+	name := flag.String("name", "s", "shard name prefix; shard i is <name><i>")
 	flag.Parse()
 
-	var store storage.Store
-	kind := "memory"
-	if *root != "" {
-		fs, err := storage.NewFileStore(*root)
-		if err != nil {
-			log.Fatalf("srbd: open store %s: %v", *root, err)
-		}
-		store = fs
-		kind = "disk"
-	} else {
-		store = storage.NewMemStore()
+	if *fleet < 1 {
+		log.Fatalf("srbd: -fleet must be at least 1")
 	}
-	if *readMBps > 0 || *writeMBps > 0 {
-		store = storage.WithDevice(store, storage.DeviceSpec{
-			Name:      "device",
-			ReadRate:  *readMBps * netsim.MBps,
-			WriteRate: *writeMBps * netsim.MBps,
-		})
-	}
-
-	srv := srb.NewServer()
-	srv.AddResource("default", kind, store)
-	srv.SetLimits(srb.Limits{MaxConns: *maxConns, MaxInflight: *maxInflight})
-
-	l, err := net.Listen("tcp", *listen)
+	host, portStr, err := net.SplitHostPort(*listen)
 	if err != nil {
-		log.Fatalf("srbd: listen %s: %v", *listen, err)
+		log.Fatalf("srbd: bad -listen %s: %v", *listen, err)
 	}
-	log.Printf("srbd: serving %s storage on %s", kind, l.Addr())
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("srbd: -listen needs a numeric port with -fleet: %v", err)
+	}
+
+	limits := srb.Limits{MaxConns: *maxConns, MaxInflight: *maxInflight}
+	shards := make([]*shard, *fleet)
+	for i := range shards {
+		shardName := fmt.Sprintf("%s%d", *name, i)
+		var store storage.Store
+		kind := "memory"
+		if *root != "" {
+			dir := *root
+			if *fleet > 1 {
+				dir = filepath.Join(*root, shardName)
+			}
+			fs, err := storage.NewFileStore(dir)
+			if err != nil {
+				log.Fatalf("srbd: open store %s: %v", dir, err)
+			}
+			store = fs
+			kind = "disk"
+		} else {
+			store = storage.NewMemStore()
+		}
+		if *readMBps > 0 || *writeMBps > 0 {
+			store = storage.WithDevice(store, storage.DeviceSpec{
+				Name:      shardName + "-device",
+				ReadRate:  *readMBps * netsim.MBps,
+				WriteRate: *writeMBps * netsim.MBps,
+			})
+		}
+
+		srv := srb.NewServer()
+		srv.AddResource("default", kind, store)
+		srv.SetLimits(limits)
+
+		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("srbd: listen %s: %v", addr, err)
+		}
+		shards[i] = &shard{name: shardName, srv: srv, lis: l}
+		if *fleet > 1 {
+			log.Printf("srbd: shard %s serving %s storage on %s", shardName, kind, l.Addr())
+		} else {
+			log.Printf("srbd: serving %s storage on %s", kind, l.Addr())
+		}
+	}
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
-				st := srv.Stats()
-				log.Printf("srbd: conns=%d active=%d reqs=%d in=%dB out=%dB",
-					st.Connections, st.ActiveConns, st.Requests,
-					st.BytesWritten, st.BytesRead)
+				for _, sh := range shards {
+					st := sh.srv.Stats()
+					log.Printf("srbd: %s conns=%d active=%d reqs=%d in=%dB out=%dB",
+						sh.name, st.Connections, st.ActiveConns, st.Requests,
+						st.BytesWritten, st.BytesRead)
+				}
 			}
 		}()
 	}
@@ -88,21 +138,42 @@ func main() {
 		log.Printf("srbd: draining (up to %v for in-flight operations)", *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("srbd: drain incomplete: %v", err)
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				if err := sh.srv.Shutdown(ctx); err != nil {
+					log.Printf("srbd: %s drain incomplete: %v", sh.name, err)
+				}
+			}(sh)
 		}
-		st := srv.Stats()
+		wg.Wait()
+		var conns, reqs, drained, shed int64
+		for _, sh := range shards {
+			st := sh.srv.Stats()
+			conns += st.Connections
+			reqs += st.Requests
+			drained += st.Drained
+			shed += st.Shed
+		}
 		log.Printf("srbd: shut down (served %d connections, %d requests; %d ops drained, %d shed)",
-			st.Connections, st.Requests, st.Drained, st.Shed)
+			conns, reqs, drained, shed)
 		os.Exit(0)
 	}()
 
-	err = srv.Serve(l)
-	if errors.Is(err, srb.ErrServerClosed) {
-		// Shutdown owns the exit path; wait for it to finish logging.
-		select {}
+	errs := make(chan error, len(shards))
+	for _, sh := range shards {
+		go func(sh *shard) { errs <- sh.srv.Serve(sh.lis) }(sh)
 	}
-	if err != nil {
-		log.Fatalf("srbd: %v", err)
+	for range shards {
+		err := <-errs
+		if errors.Is(err, srb.ErrServerClosed) {
+			// Shutdown owns the exit path; wait for it to finish logging.
+			select {}
+		}
+		if err != nil {
+			log.Fatalf("srbd: %v", err)
+		}
 	}
 }

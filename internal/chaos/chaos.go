@@ -41,6 +41,17 @@ type Config struct {
 	Streams  int // TCP streams per open handle (default 2)
 	Chunk    int // write/read granularity (default 64 KiB)
 
+	// Shards is the server fleet size. At 1 (the default) the run is the
+	// classic single-server workload; above 1 the workload goes through
+	// the federated client (MCAT-placed striping with replica failover)
+	// and verification adds per-slot, per-replica server checksums.
+	Shards int
+	// Replicas is the placement replica-set size (default min(2, Shards)).
+	Replicas int
+	// AsyncReplicas switches federated writes to asynchronous
+	// replication: primary-acked, replicas caught up by Sync/Close.
+	AsyncReplicas bool
+
 	// Fault sizes the generated schedule; its Nodes and Horizon are
 	// defaulted from the workload if zero.
 	Fault netsim.ChaosConfig
@@ -71,8 +82,20 @@ func (c Config) withDefaults() Config {
 	if c.Chunk <= 0 {
 		c.Chunk = 64 << 10
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Shards {
+		c.Replicas = c.Shards
+	}
 	if c.Fault.Nodes == 0 {
 		c.Fault.Nodes = c.Nodes
+	}
+	if c.Fault.Shards == 0 {
+		c.Fault.Shards = c.Shards
 	}
 	if c.Fault.Horizon == 0 {
 		c.Fault.Horizon = 1500 * time.Millisecond
@@ -132,13 +155,17 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	baselineGoroutines := runtime.NumGoroutine()
 
-	tb := cluster.New(cfg.Spec, cfg.Nodes)
-	if err := tb.Server.MkdirAll("/chaos"); err != nil {
-		return nil, err
-	}
-	for n := 0; n < cfg.Nodes; n++ {
-		if err := tb.Server.MkdirAll(fmt.Sprintf("/chaos/node%d", n)); err != nil {
+	tb := cluster.NewFederated(cfg.Spec, cfg.Nodes, cfg.Shards, cfg.Replicas)
+	// Slot files of a path land on whichever shards placement picks, so
+	// every shard needs the collection tree.
+	for s := 0; s < tb.Shards(); s++ {
+		if err := tb.ActiveShard(s).MkdirAll("/chaos"); err != nil {
 			return nil, err
+		}
+		for n := 0; n < cfg.Nodes; n++ {
+			if err := tb.ActiveShard(s).MkdirAll(fmt.Sprintf("/chaos/node%d", n)); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -176,8 +203,12 @@ func Run(cfg Config) (*Result, error) {
 	res.ScheduleDone = <-schedDone
 
 	// Normalize the testbed for the verification phase: faults are over,
-	// the server must be up and the network clean.
-	tb.RestartServer()
+	// every shard must be up and the network clean. Restarting the fleet
+	// also makes the verify re-read a post-restart read: the metadata it
+	// sees came back through each shard's journal replay.
+	for s := 0; s < tb.Shards(); s++ {
+		tb.RestartShard(s)
+	}
 	tb.LatencySpike(0)
 	if workErr != nil {
 		return res, fmt.Errorf("chaos: workload failed: %w", workErr)
@@ -192,18 +223,39 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runNodeWorkload writes this node's files through the full SEMPLAR client
-// stack (striped streams, retry/reconnect) while faults fire, then reads
-// each back through the same handles for a first-pass content check.
-func runNodeWorkload(tb *cluster.Testbed, cfg Config, node int) (reconnects, retriedOps int64, err error) {
-	fs, err := core.NewSRBFS(core.SRBFSConfig{
-		Dial:            tb.Dialer(node),
-		User:            fmt.Sprintf("chaos-node%d", node),
+// nodeDriver builds one node's client: the single-server SRBFS for a
+// one-shard testbed, the federated FedFS (MCAT-placed striping with
+// replica failover) for a fleet. Both ride the same retry classification
+// and reconnect budgets — a dead shard is just another transient.
+func nodeDriver(tb *cluster.Testbed, cfg Config, node int, user string) (adio.Driver, error) {
+	if cfg.Shards <= 1 {
+		return core.NewSRBFS(core.SRBFSConfig{
+			Dial:            tb.Dialer(node),
+			User:            user,
+			Streams:         cfg.Streams,
+			StripeSize:      cfg.Chunk,
+			Retry:           cfg.Retry,
+			ReconnectBudget: cfg.ReconnectBudget,
+		})
+	}
+	return core.NewFedFS(core.FedConfig{
+		Endpoints:       tb.FedEndpoints(node),
+		Placer:          tb.Placer(),
+		Width:           cfg.Shards,
+		Async:           cfg.AsyncReplicas,
+		User:            user,
 		Streams:         cfg.Streams,
 		StripeSize:      cfg.Chunk,
 		Retry:           cfg.Retry,
 		ReconnectBudget: cfg.ReconnectBudget,
 	})
+}
+
+// runNodeWorkload writes this node's files through the full SEMPLAR client
+// stack (striped streams, retry/reconnect) while faults fire, then reads
+// each back through the same handles for a first-pass content check.
+func runNodeWorkload(tb *cluster.Testbed, cfg Config, node int) (reconnects, retriedOps int64, err error) {
+	fs, err := nodeDriver(tb, cfg, node, fmt.Sprintf("chaos-node%d", node))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -220,7 +272,7 @@ func runNodeWorkload(tb *cluster.Testbed, cfg Config, node int) (reconnects, ret
 	return reconnects, retriedOps, nil
 }
 
-func writeAndReadBack(fs *core.SRBFS, p string, content []byte, chunk int) (reconnects, retriedOps int64, err error) {
+func writeAndReadBack(fs adio.Driver, p string, content []byte, chunk int) (reconnects, retriedOps int64, err error) {
 	f, err := fs.Open(p, adio.O_RDWR|adio.O_CREATE, nil)
 	if err != nil {
 		return 0, 0, err
@@ -284,6 +336,9 @@ func writeAndReadBack(fs *core.SRBFS, p string, content []byte, chunk int) (reco
 // three ways: expected content hash, client read-back hash, and the
 // server-side Schksum computed without shipping the bytes.
 func verify(tb *cluster.Testbed, cfg Config, res *Result) error {
+	if cfg.Shards > 1 {
+		return verifyFed(tb, cfg, res)
+	}
 	conn, err := srb.DialRetry(tb.Dialer(0), "chaos-verify", cfg.Retry)
 	if err != nil {
 		return fmt.Errorf("chaos: verify dial: %w", err)
@@ -340,24 +395,137 @@ func verify(tb *cluster.Testbed, cfg Config, res *Result) error {
 	return nil
 }
 
-// checkLeaks asserts the run left nothing behind: no open server handles,
-// no live connections on either side of the simulated network, and a
-// goroutine count back near the pre-run baseline.
+// slotImage extracts the dense byte image one stripe slot holds for
+// content striped at the given size and width — what every replica of
+// the slot must store bit-identically (see core.SlotPath).
+func slotImage(content []byte, stripe, width, slot int) []byte {
+	var out []byte
+	for b := slot * stripe; b < len(content); b += stripe * width {
+		end := b + stripe
+		if end > len(content) {
+			end = len(content)
+		}
+		out = append(out, content[b:end]...)
+	}
+	return out
+}
+
+// verifyFed is the federated verification pass. Three checksums per file
+// must agree with the expected content: the client's federated re-read
+// (post-restart — the fleet was just cycled through its journals), and
+// the server-side Schksum of every slot file on every server of its
+// replica set, each compared against the slot's expected dense image.
+// The per-server sums are folded (in slot, then replica order) into the
+// report's ServerSum so the record stays one line per file.
+func verifyFed(tb *cluster.Testbed, cfg Config, res *Result) error {
+	names := tb.ShardNames()
+	conns := make(map[string]*srb.Conn, len(names))
+	for i, name := range names {
+		conn, err := srb.DialRetry(tb.ShardDialer(0, i), "chaos-verify", cfg.Retry)
+		if err != nil {
+			return fmt.Errorf("chaos: verify dial %s: %w", name, err)
+		}
+		defer conn.Close()
+		conns[name] = conn
+	}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		fs, err := nodeDriver(tb, cfg, n, "chaos-verify")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Files; i++ {
+			p := filePath(n, i)
+			content := fileContent(cfg.Seed, n, i, cfg.FileSize)
+			wantSum := sha256.Sum256(content)
+			want := hex.EncodeToString(wantSum[:])
+
+			rep := FileReport{Path: p}
+			f, err := fs.Open(p, adio.O_RDONLY, nil)
+			if err != nil {
+				return fmt.Errorf("chaos: verify open %s: %w", p, err)
+			}
+			got := make([]byte, len(content))
+			_, rerr := f.ReadAt(got, 0)
+			cerr := f.Close()
+			if rerr != nil {
+				return fmt.Errorf("chaos: verify read %s: %w", p, rerr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("chaos: verify close %s: %w", p, cerr)
+			}
+			gotSum := sha256.Sum256(got)
+			rep.Sum = hex.EncodeToString(gotSum[:])
+
+			slots, ok := tb.Placer().Lookup(p)
+			if !ok {
+				return fmt.Errorf("chaos: %s has no placement after the run", p)
+			}
+			var srvCat, wantCat []byte // per-server sums, slot then replica order
+			for slot, servers := range slots {
+				img := slotImage(content, cfg.Chunk, len(slots), slot)
+				imgSum := sha256.Sum256(img)
+				wantHex := hex.EncodeToString(imgSum[:])
+				for _, server := range servers {
+					sum, size, err := conns[server].Checksum(core.SlotPath(p, slot))
+					if err != nil {
+						return fmt.Errorf("chaos: checksum %s slot %d on %s: %w",
+							p, slot, server, err)
+					}
+					if sum != wantHex || size != int64(len(img)) {
+						return fmt.Errorf("chaos: %s slot %d diverged on %s: sum %s size %d, want %s size %d",
+							p, slot, server, sum, size, wantHex, len(img))
+					}
+					srvCat = append(srvCat, sum...)
+					wantCat = append(wantCat, wantHex...)
+				}
+			}
+			srvFold := sha256.Sum256(srvCat)
+			wantFold := sha256.Sum256(wantCat)
+			rep.ServerSum = hex.EncodeToString(srvFold[:])
+			wantServer := hex.EncodeToString(wantFold[:])
+
+			rep.Verified = rep.Sum == want && rep.ServerSum == wantServer
+			res.Files = append(res.Files, rep)
+			if !rep.Verified {
+				return fmt.Errorf("chaos: %s corrupted: want %s, client %s", p, want, rep.Sum)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLeaks asserts the run left nothing behind: no open handles or
+// live connections on any shard, nothing live on either side of the
+// simulated network, and a goroutine count back near the pre-run
+// baseline. Stats are summed across the fleet, so one leaking shard
+// fails the check no matter how clean the others are.
 func checkLeaks(tb *cluster.Testbed, res *Result, baseline int) error {
-	srv := tb.ActiveServer()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		st := srv.Stats()
+		var agg srb.ServerStats
+		for s := 0; s < tb.Shards(); s++ {
+			st := tb.ActiveShard(s).Stats()
+			agg.Connections += st.Connections
+			agg.Requests += st.Requests
+			agg.BytesRead += st.BytesRead
+			agg.BytesWritten += st.BytesWritten
+			agg.ActiveConns += st.ActiveConns
+			agg.ProtocolError += st.ProtocolError
+			agg.OpenHandles += st.OpenHandles
+			agg.Shed += st.Shed
+			agg.Drained += st.Drained
+		}
 		nconns := tb.Net.Conns()
 		ngo := runtime.NumGoroutine()
-		if st.OpenHandles == 0 && st.ActiveConns == 0 && nconns == 0 &&
+		if agg.OpenHandles == 0 && agg.ActiveConns == 0 && nconns == 0 &&
 			ngo <= baseline+3 {
-			res.Server = st
+			res.Server = agg
 			return nil
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("chaos: leak check failed: OpenHandles=%d ActiveConns=%d netConns=%d goroutines=%d (baseline %d)",
-				st.OpenHandles, st.ActiveConns, nconns, ngo, baseline)
+				agg.OpenHandles, agg.ActiveConns, nconns, ngo, baseline)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -88,6 +88,77 @@ func TestChaosShort(t *testing.T) {
 	}
 }
 
+// fedShortConfig is the federated smoke wired into `make chaos-short`:
+// three metered shards with two-way replication, one shard killed and
+// restarted while the striped writes are in flight, plus a shard-scoped
+// partition window. Connection kills stay in the mix so the
+// single-server fault classes keep firing alongside the shard faults.
+func fedShortConfig(seed int64) Config {
+	cfg := shortConfig(seed)
+	cfg.Shards = 3
+	cfg.Replicas = 2
+	cfg.Files = 1 // per node; each file striped across all three shards
+	cfg.Fault.ServerKills = 0
+	cfg.Fault.ServerDowntime = 0
+	cfg.Fault.ShardKills = 1
+	cfg.Fault.ShardDowntime = 120 * time.Millisecond
+	cfg.Fault.ShardPartitions = 1
+	cfg.Fault.ShardPartitionDur = 100 * time.Millisecond
+	return cfg
+}
+
+func TestChaosFederationShort(t *testing.T) {
+	const seed = 2006
+	res, err := Run(fedShortConfig(seed))
+	if err != nil {
+		t.Fatalf("federated chaos run (seed %d): %v", seed, err)
+	}
+	if len(res.Files) != 2 {
+		t.Fatalf("verified %d files, want 2", len(res.Files))
+	}
+	for _, f := range res.Files {
+		// Verified means the triple check held: expected content hash,
+		// the client's post-restart federated re-read, and the per-slot
+		// Schksum of every replica on every shard.
+		if !f.Verified {
+			t.Errorf("%s not verified: client %s server %s", f.Path, f.Sum, f.ServerSum)
+		}
+	}
+	killed, parted := false, false
+	for _, ev := range res.Schedule {
+		switch ev.Kind {
+		case netsim.FaultShardKill:
+			killed = true
+		case netsim.FaultShardPartition:
+			parted = true
+		}
+	}
+	if !killed {
+		t.Fatal("schedule carries no shard kill")
+	}
+	if !parted {
+		t.Fatal("schedule carries no shard partition")
+	}
+	if res.Reconnects < 1 {
+		t.Errorf("no reconnects recorded — faults never overlapped the workload (schedule done: %v)", res.ScheduleDone)
+	}
+
+	// Determinism: the same seed yields the same shard-fault schedule and
+	// the same verified checksums.
+	res2, err := Run(fedShortConfig(seed))
+	if err != nil {
+		t.Fatalf("federated chaos rerun (seed %d): %v", seed, err)
+	}
+	if !reflect.DeepEqual(res.Schedule, res2.Schedule) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	for i := range res.Files {
+		if res.Files[i].Sum != res2.Files[i].Sum || res.Files[i].ServerSum != res2.Files[i].ServerSum {
+			t.Errorf("%s: checksums differ across identical seeds", res.Files[i].Path)
+		}
+	}
+}
+
 func TestChaosSurvivesWorkloadOutpacingSchedule(t *testing.T) {
 	// A tiny workload finishes before most of the schedule fires; Run
 	// must cancel the remaining events, normalize the testbed and still

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -63,60 +64,98 @@ func Specs() []Spec { return []Spec{DAS2(), OSC(), TGNCSA()} }
 // clients ride out a crash window with their normal backoff.
 var ErrServerDown = errors.New("cluster: server down")
 
-// Testbed is a running simulated deployment: one SRB server, one client
-// cluster, and per-node ADIO registries whose "srb" driver dials through
-// that node's shaped path.
+// Testbed is a running simulated deployment: one or more SRB server
+// shards, one client cluster, and per-node ADIO registries whose "srb"
+// driver dials through that node's shaped path.
 //
-// The server is a crashable fault domain: KillServer models a process
-// death (connections reset, journaling stops), RestartServer brings up a
-// fresh server over the same storage, rebuilding the MCAT from the
-// journal. The Server field always points at the current generation; code
-// that must survive restarts uses ActiveServer.
+// Every shard is an independent crashable fault domain: KillShard models
+// one shard process dying (its connections reset, its journaling stops),
+// RestartShard brings a fresh generation up over the same storage,
+// rebuilding that shard's MCAT from its journal. The single-server API
+// (KillServer, RestartServer, ActiveServer, Dialer) operates on shard 0,
+// so a classic one-server testbed is just a one-shard fleet. The Server
+// field always points at shard 0's current generation; code that must
+// survive restarts uses ActiveServer/ActiveShard.
 type Testbed struct {
 	Spec Spec
 	Net  *netsim.Network
-	// Server is the current server generation. Read it directly only in
+	// Server is shard 0's current generation. Read it directly only in
 	// single-threaded test setup/teardown; concurrent code must use
 	// ActiveServer (the field is rewritten by RestartServer).
 	Server *srb.Server
 
-	store   storage.Store
-	journal *mcat.MemJournal
+	shards []*shardState   // immutable slice; each element mu-guarded
+	placer *mcat.Placer    // MCAT placement service, shared by all nodes
+	pjour  *mcat.MemJournal // placement journal behind placer
 
 	mu     sync.Mutex
-	srv    *srb.Server // guarded by mu; nil while killed
-	limits srb.Limits  // guarded by mu; applied to every generation
+	limits srb.Limits // guarded by mu; applied to every generation
 	tracer *trace.Tracer
 }
 
-// New brings up a testbed with the given number of client nodes.
+// shardState is one server shard: its storage and journal survive crashes,
+// the srv pointer is the current process generation (nil while killed).
+type shardState struct {
+	name    string
+	store   storage.Store
+	journal *mcat.MemJournal
+	srv     *srb.Server // current generation, nil while killed; Testbed.mu serializes access
+}
+
+// New brings up a single-server testbed with the given number of client
+// nodes — a one-shard fleet with no replication.
 func New(spec Spec, nodes int) *Testbed {
-	var st storage.Store = storage.NewMemStore()
-	d := spec.Device
-	if d.ReadRate > 0 || d.WriteRate > 0 || d.OpLatency > 0 {
-		st = storage.WithDevice(st, d)
+	return NewFederated(spec, nodes, 1, 1)
+}
+
+// NewFederated brings up a fleet of shards independent SRB servers behind
+// one simulated network, plus an MCAT placer (journaled, replica-set size
+// replicas) that directs stripe placement across them. Shard i is named
+// "s<i>"; each shard gets its own metered device, modeling separate
+// storage arrays rather than a shared one.
+func NewFederated(spec Spec, nodes, shards, replicas int) *Testbed {
+	if shards < 1 {
+		shards = 1
 	}
 	tb := &Testbed{
-		Spec:    spec,
-		Net:     netsim.NewNetwork(spec.Profile, nodes),
-		store:   st,
-		journal: mcat.NewMemJournal(),
+		Spec:  spec,
+		Net:   netsim.NewNetwork(spec.Profile, nodes),
+		pjour: mcat.NewMemJournal(),
 	}
-	tb.srv = tb.newServer(tb.limits, tb.tracer)
-	tb.Server = tb.srv
+	tb.placer = mcat.NewPlacer(replicas)
+	for i := 0; i < shards; i++ {
+		var st storage.Store = storage.NewMemStore()
+		d := spec.Device
+		if d.ReadRate > 0 || d.WriteRate > 0 || d.OpLatency > 0 {
+			st = storage.WithDevice(st, d)
+		}
+		sh := &shardState{
+			name:    fmt.Sprintf("s%d", i),
+			store:   st,
+			journal: mcat.NewMemJournal(),
+		}
+		tb.shards = append(tb.shards, sh)
+		tb.placer.AddServer(sh.name)
+	}
+	tb.placer.SetJournal(tb.pjour)
+	for _, sh := range tb.shards {
+		sh.srv = tb.newServer(sh, tb.limits, tb.tracer)
+	}
+	tb.Server = tb.shards[0].srv
 	return tb
 }
 
-// newServer builds one server generation over the shared store, replays
-// the journal into its catalog and attaches the journal for subsequent
-// mutations. Resources are re-registered (not journaled), mirroring a
-// real daemon's startup order: config, replay, serve. The mu-guarded
-// limits/tracer are passed in by the caller rather than read here.
-func (tb *Testbed) newServer(limits srb.Limits, tr *trace.Tracer) *srb.Server {
+// newServer builds one server generation over a shard's store, replays
+// the shard journal into its catalog and attaches the journal for
+// subsequent mutations. Resources are re-registered (not journaled),
+// mirroring a real daemon's startup order: config, replay, serve. The
+// mu-guarded limits/tracer are passed in by the caller rather than read
+// here.
+func (tb *Testbed) newServer(sh *shardState, limits srb.Limits, tr *trace.Tracer) *srb.Server {
 	srv := srb.NewServer()
-	srv.AddResource("mem", "memory", tb.store)
-	srv.Catalog().Replay(tb.journal.Records())
-	srv.Catalog().SetJournal(tb.journal)
+	srv.AddResource("mem", "memory", sh.store)
+	srv.Catalog().Replay(sh.journal.Records())
+	srv.Catalog().SetJournal(sh.journal)
 	srv.SetLimits(limits)
 	if tr != nil {
 		srv.SetTracer(tr)
@@ -132,64 +171,128 @@ func (tb *Testbed) SetTracer(tr *trace.Tracer) {
 	tb.Net.SetTracer(tr)
 	tb.mu.Lock()
 	tb.tracer = tr
-	srv := tb.srv
+	var up []*srb.Server
+	for _, sh := range tb.shards {
+		if sh.srv != nil {
+			up = append(up, sh.srv)
+		}
+	}
 	tb.mu.Unlock()
-	if srv != nil {
+	for _, srv := range up {
 		srv.SetTracer(tr)
 	}
 }
 
-// SetServerLimits applies admission-control limits to the current server
+// SetServerLimits applies admission-control limits to every running shard
 // and every future generation. Call before serving traffic.
 func (tb *Testbed) SetServerLimits(l srb.Limits) {
 	tb.mu.Lock()
 	tb.limits = l
-	srv := tb.srv
+	var up []*srb.Server
+	for _, sh := range tb.shards {
+		if sh.srv != nil {
+			up = append(up, sh.srv)
+		}
+	}
 	tb.mu.Unlock()
-	if srv != nil {
+	for _, srv := range up {
 		srv.SetLimits(l)
 	}
 }
 
-// ActiveServer returns the current server generation, or nil while the
-// server is killed.
-func (tb *Testbed) ActiveServer() *srb.Server {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	return tb.srv
+// Shards reports the fleet size.
+func (tb *Testbed) Shards() int { return len(tb.shards) }
+
+// ShardNames returns the endpoint names the placer knows the fleet by.
+func (tb *Testbed) ShardNames() []string {
+	names := make([]string, len(tb.shards))
+	for i, sh := range tb.shards {
+		names[i] = sh.name
+	}
+	return names
 }
 
-// KillServer crashes the server: its catalog is detached from the journal
-// (a dead process writes no more metadata), every established connection
-// is reset, and dials fail with ErrServerDown until RestartServer. The
-// in-memory object store survives, standing in for the disk array: bytes
-// that reached storage before the crash are still there — data whose
-// metadata was journaled is fully recovered, and the client replay path
-// reconciles the rest.
-func (tb *Testbed) KillServer() {
+// Placer exposes the testbed's MCAT placement service (shared by every
+// node, like the real MCAT).
+func (tb *Testbed) Placer() *mcat.Placer { return tb.placer }
+
+// PlacementJournal exposes the placement journal (tests inspect it).
+func (tb *Testbed) PlacementJournal() *mcat.MemJournal { return tb.pjour }
+
+// ShardStore exposes shard i's backing store (tests corrupt and inspect
+// replicas directly).
+func (tb *Testbed) ShardStore(i int) storage.Store { return tb.shards[tb.clampShard(i)].store }
+
+func (tb *Testbed) clampShard(i int) int {
+	if i < 0 || i >= len(tb.shards) {
+		return 0
+	}
+	return i
+}
+
+// ActiveServer returns shard 0's current generation, or nil while killed.
+func (tb *Testbed) ActiveServer() *srb.Server { return tb.ActiveShard(0) }
+
+// ActiveShard returns shard i's current generation, or nil while killed.
+func (tb *Testbed) ActiveShard(i int) *srb.Server {
 	tb.mu.Lock()
-	srv := tb.srv
-	tb.srv = nil
+	defer tb.mu.Unlock()
+	return tb.shards[tb.clampShard(i)].srv
+}
+
+// KillServer crashes shard 0 — the whole server in a one-shard testbed.
+// Its catalog is detached from the journal (a dead process writes no more
+// metadata), every established connection to it is reset, and dials fail
+// with ErrServerDown until RestartServer. The in-memory object store
+// survives, standing in for the disk array: bytes that reached storage
+// before the crash are still there — data whose metadata was journaled is
+// fully recovered, and the client replay path reconciles the rest.
+func (tb *Testbed) KillServer() { tb.KillShard(0) }
+
+// RestartServer brings shard 0 back up from its journal. It is a no-op if
+// the shard is already running. Clients reconnect through their existing
+// retry/reopen flow; nothing client-side knows a restart happened.
+func (tb *Testbed) RestartServer() { tb.RestartShard(0) }
+
+// KillShard crashes one shard of the fleet: that shard's catalog detaches
+// from its journal, only its connections reset, and only its dials fail —
+// the rest of the fleet keeps serving, which is exactly the asymmetry
+// federated clients must ride out.
+func (tb *Testbed) KillShard(i int) {
+	tb.mu.Lock()
+	sh := tb.shards[tb.clampShard(i)]
+	srv := sh.srv
+	sh.srv = nil
 	tb.mu.Unlock()
 	if srv == nil {
 		return // already dead
 	}
 	srv.Catalog().SetJournal(nil)
-	tb.Net.KillAll()
+	tb.Net.KillShardConns(tb.clampShard(i))
 }
 
-// RestartServer brings a fresh server generation up from the journal. It
-// is a no-op if the server is already running. Clients reconnect through
-// their existing retry/reopen flow; nothing client-side knows a restart
-// happened.
-func (tb *Testbed) RestartServer() {
+// RestartShard brings a fresh generation of one shard up from its
+// journal; a no-op while the shard is running.
+func (tb *Testbed) RestartShard(i int) {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
-	if tb.srv != nil {
+	sh := tb.shards[tb.clampShard(i)]
+	if sh.srv != nil {
 		return
 	}
-	tb.srv = tb.newServer(tb.limits, tb.tracer)
-	tb.Server = tb.srv
+	sh.srv = tb.newServer(sh, tb.limits, tb.tracer)
+	if tb.clampShard(i) == 0 {
+		tb.Server = sh.srv
+	}
+}
+
+// PartitionShard cuts one shard off the network for d: its established
+// connections reset and new dials toward it fail until the window
+// elapses. Unlike KillShard the shard process stays alive — its catalog
+// keeps journaling — so this is a pure network fault, the federated
+// analogue of Partition.
+func (tb *Testbed) PartitionShard(i int, d time.Duration) {
+	tb.Net.PartitionShard(tb.clampShard(i), d)
 }
 
 // KillConns implements the chaos Injector verb: reset one node's
@@ -203,25 +306,45 @@ func (tb *Testbed) Partition(node int, d time.Duration) { tb.Net.Partition(node,
 // one-way latency (0 clears).
 func (tb *Testbed) LatencySpike(extra time.Duration) { tb.Net.SetLatencySpike(extra) }
 
-var _ netsim.Injector = (*Testbed)(nil)
+var _ netsim.ShardInjector = (*Testbed)(nil)
 
 // Dialer returns a core.DialFunc bound to one client node: every call
 // opens a fresh shaped connection from that node to the current server
 // generation, failing transiently while the node is partitioned or the
 // server is down.
-func (tb *Testbed) Dialer(node int) core.DialFunc {
+func (tb *Testbed) Dialer(node int) core.DialFunc { return tb.ShardDialer(node, 0) }
+
+// ShardDialer is Dialer toward one shard of the fleet: connections are
+// tagged with the shard so shard-scoped faults reset exactly them, and
+// dials fail transiently only for that shard's own faults —
+// ErrServerDown while it is killed, ErrPartitioned while its
+// shard-partition window is open.
+func (tb *Testbed) ShardDialer(node, shard int) core.DialFunc {
 	return func() (net.Conn, error) {
 		if err := tb.Net.DialFault(node); err != nil {
 			return nil, err
 		}
-		srv := tb.ActiveServer()
-		if srv == nil {
-			return nil, ErrServerDown
+		if err := tb.Net.ShardDialFault(shard); err != nil {
+			return nil, err
 		}
-		c, s := tb.Net.Dial(node)
+		srv := tb.ActiveShard(shard)
+		if srv == nil {
+			return nil, fmt.Errorf("%w: shard %d", ErrServerDown, shard)
+		}
+		c, s := tb.Net.DialShard(node, shard)
 		go srv.ServeConn(s)
 		return c, nil
 	}
+}
+
+// FedEndpoints returns the fleet as federation endpoints for one client
+// node, in shard order, named as the placer knows them.
+func (tb *Testbed) FedEndpoints(node int) []core.Endpoint {
+	eps := make([]core.Endpoint, len(tb.shards))
+	for i, sh := range tb.shards {
+		eps[i] = core.Endpoint{Name: sh.name, Dial: tb.ShardDialer(node, i)}
+	}
+	return eps
 }
 
 // Registry returns an ADIO registry for one node, with the SEMPLAR "srb"
@@ -242,5 +365,5 @@ func (tb *Testbed) Registry(node int, cfg core.SRBFSConfig) *adio.Registry {
 // Fabric is the MPI interconnect of the client cluster.
 func (tb *Testbed) Fabric() netsim.Fabric { return tb.Net.Interconnect() }
 
-// Journal exposes the shared MCAT journal (tests inspect it).
-func (tb *Testbed) Journal() *mcat.MemJournal { return tb.journal }
+// Journal exposes shard 0's MCAT journal (tests inspect it).
+func (tb *Testbed) Journal() *mcat.MemJournal { return tb.shards[0].journal }

@@ -44,6 +44,11 @@ const (
 	JGrowSize
 	JSetAttr
 	JAddReplica
+	// JPlace records a federation placement decision (see placement.go):
+	// Path is the logical file, Value the encoded per-slot replica sets,
+	// Seq the placement allocator high-water mark. Applied by
+	// Placer.Replay; the catalog ignores it.
+	JPlace
 )
 
 var jopNames = map[JournalOp]string{
@@ -56,6 +61,7 @@ var jopNames = map[JournalOp]string{
 	JGrowSize:   "growsize",
 	JSetAttr:    "setattr",
 	JAddReplica: "replica",
+	JPlace:      "place",
 }
 
 var jopByName = func() map[string]JournalOp {

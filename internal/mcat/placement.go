@@ -1,0 +1,247 @@
+package mcat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fnv1a is 32-bit FNV-1a over s, inlined (hash/fnv only exposes it
+// through io.Writer, whose error-on-a-write-path shape the lint gates).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// This file is the MCAT's placement service: the mapping from a logical
+// file to the set of SRB servers that hold its stripes. Where the catalog
+// maps paths to physical keys inside one server, the Placer maps each
+// stripe slot of a path to an ordered replica set of server endpoints —
+// the federation analogue of the SRB's resource/replica model.
+//
+// Placement is decided once per path, deterministically (a stable hash of
+// the path picks the rotation through the registered servers), journaled
+// through the same v1 line codec as catalog mutations, and replayed on
+// restart — so a file's stripes are found on the same servers after an
+// MCAT crash, and two clients asking concurrently get the same answer.
+
+// ReplicaSet is the ordered server list for one stripe slot: index 0 is
+// the primary, the rest are failover replicas in preference order.
+type ReplicaSet []string
+
+// Primary names the slot's first-choice server.
+func (rs ReplicaSet) Primary() string { return rs[0] }
+
+// Placer assigns stripe slots of logical files to registered server
+// endpoints and remembers the assignment. Safe for concurrent use.
+type Placer struct {
+	mu       sync.Mutex
+	servers  []string                // guarded by mu; registration order
+	replicas int                     // guarded by mu; replica-set size incl. primary
+	files    map[string][]ReplicaSet // guarded by mu; path -> slot -> servers
+	seq      uint64                  // guarded by mu; placement decisions committed
+	journal  Journal                 // guarded by mu; nil = journaling off
+	now      func() time.Time        // guarded by mu; test seam
+}
+
+// NewPlacer returns an empty placer whose future placements carry
+// replica-set size replicas (clamped to [1, len(servers)] at Place time).
+func NewPlacer(replicas int) *Placer {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Placer{
+		replicas: replicas,
+		files:    make(map[string][]ReplicaSet),
+		now:      time.Now,
+	}
+}
+
+// AddServer registers a server endpoint name. Registration order is part
+// of the placement function, so every MCAT generation must register the
+// same fleet in the same order (exactly like catalog resources, which are
+// re-registered on startup rather than journaled).
+func (p *Placer) AddServer(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.servers {
+		if s == name {
+			return
+		}
+	}
+	p.servers = append(p.servers, name)
+}
+
+// Servers returns the registered endpoint names in registration order.
+func (p *Placer) Servers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.servers...)
+}
+
+// Replicas reports the configured replica-set size.
+func (p *Placer) Replicas() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicas
+}
+
+// Place returns the replica sets for path's stripe slots, deciding and
+// journaling the placement on first call. stripes is the desired slot
+// count; it is clamped to the fleet size so no two slots share a primary.
+// A path that already has a placement keeps it regardless of stripes —
+// placement is stable for the life of the file.
+func (p *Placer) Place(path string, stripes int) ([]ReplicaSet, error) {
+	path, err := Normalize(path)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sets, ok := p.files[path]; ok {
+		return cloneSets(sets), nil
+	}
+	n := len(p.servers)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: placer has no servers", ErrNoResource)
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > n {
+		stripes = n
+	}
+	repl := p.replicas
+	if repl > n {
+		repl = n
+	}
+	base := int(fnv1a(path) % uint32(n))
+	sets := make([]ReplicaSet, stripes)
+	for slot := range sets {
+		rs := make(ReplicaSet, repl)
+		for j := 0; j < repl; j++ {
+			rs[j] = p.servers[(base+slot+j)%n]
+		}
+		sets[slot] = rs
+	}
+	p.files[path] = sets
+	p.seq++
+	if p.journal != nil {
+		p.journal.Append(Record{
+			Op:    JPlace,
+			Path:  path,
+			Value: EncodePlacement(sets),
+			Seq:   p.seq,
+			Time:  p.now().UnixNano(),
+		})
+	}
+	return cloneSets(sets), nil
+}
+
+// Lookup returns the existing placement for path without deciding one.
+func (p *Placer) Lookup(path string) ([]ReplicaSet, bool) {
+	path, err := Normalize(path)
+	if err != nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sets, ok := p.files[path]
+	if !ok {
+		return nil, false
+	}
+	return cloneSets(sets), true
+}
+
+// Paths lists the placed paths, sorted (tests inspect the table).
+func (p *Placer) Paths() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.files))
+	for path := range p.files {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seq reports the placement sequence high-water mark.
+func (p *Placer) Seq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// SetJournal attaches a journal that receives every subsequent placement
+// decision. Attach after Replay (replayed records are not re-journaled);
+// detach with nil — the crash model, as for the catalog.
+func (p *Placer) SetJournal(j Journal) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.journal = j
+}
+
+// Replay applies journal records in order. Non-placement records are
+// skipped, so a placer may share a journal stream with a catalog. Replay
+// is idempotent and last-writer-wins, and restores the sequence
+// high-water mark so post-restart placements journal with fresh numbers.
+func (p *Placer) Replay(recs []Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range recs {
+		if r.Op != JPlace {
+			continue
+		}
+		sets, err := DecodePlacement(r.Value)
+		if err != nil {
+			continue // defensive, mirroring applyLocked's trust model
+		}
+		p.files[r.Path] = sets
+		if r.Seq > p.seq {
+			p.seq = r.Seq
+		}
+	}
+}
+
+// EncodePlacement renders replica sets in the journal Value form:
+// slots separated by ';', servers within a slot by ','.
+func EncodePlacement(sets []ReplicaSet) string {
+	slots := make([]string, len(sets))
+	for i, rs := range sets {
+		slots[i] = strings.Join(rs, ",")
+	}
+	return strings.Join(slots, ";")
+}
+
+// DecodePlacement parses EncodePlacement output.
+func DecodePlacement(v string) ([]ReplicaSet, error) {
+	if v == "" {
+		return nil, fmt.Errorf("mcat: empty placement value")
+	}
+	slots := strings.Split(v, ";")
+	sets := make([]ReplicaSet, len(slots))
+	for i, s := range slots {
+		servers := strings.Split(s, ",")
+		for _, name := range servers {
+			if name == "" {
+				return nil, fmt.Errorf("mcat: malformed placement %q", v)
+			}
+		}
+		sets[i] = servers
+	}
+	return sets, nil
+}
+
+func cloneSets(sets []ReplicaSet) []ReplicaSet {
+	out := make([]ReplicaSet, len(sets))
+	for i, rs := range sets {
+		out[i] = append(ReplicaSet(nil), rs...)
+	}
+	return out
+}

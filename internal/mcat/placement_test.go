@@ -1,0 +1,268 @@
+package mcat
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// journaledPlacer is a three-server placer with an attached journal.
+func journaledPlacer(replicas int) (*Placer, *MemJournal) {
+	p := NewPlacer(replicas)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		p.AddServer(s)
+	}
+	j := NewMemJournal()
+	p.SetJournal(j)
+	return p, j
+}
+
+// replayPlacer rebuilds a fresh placer from the journal, the way a
+// restarted MCAT does: register the fleet, replay, attach.
+func replayPlacer(j *MemJournal, replicas int) *Placer {
+	p := NewPlacer(replicas)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		p.AddServer(s)
+	}
+	p.Replay(j.Records())
+	p.SetJournal(j)
+	return p
+}
+
+// placeEverything decides a handful of placements with varied widths.
+func placeEverything(t *testing.T, p *Placer) {
+	t.Helper()
+	for _, c := range []struct {
+		path    string
+		stripes int
+	}{
+		{"/fed/a", 3},
+		{"/fed/b", 2},
+		{"/fed/c", 1},
+		{"/fed/wide", 9}, // clamped to the fleet size
+	} {
+		if _, err := p.Place(c.path, c.stripes); err != nil {
+			t.Fatalf("Place(%s, %d): %v", c.path, c.stripes, err)
+		}
+	}
+}
+
+// placementsEqual compares the full placement tables of two placers.
+func placementsEqual(t *testing.T, want, got *Placer) {
+	t.Helper()
+	wp, gp := want.Paths(), got.Paths()
+	if !reflect.DeepEqual(wp, gp) {
+		t.Fatalf("paths: want %v, got %v", wp, gp)
+	}
+	for _, path := range wp {
+		ws, _ := want.Lookup(path)
+		gs, ok := got.Lookup(path)
+		if !ok || !reflect.DeepEqual(ws, gs) {
+			t.Errorf("%s: want %v, got %v (ok=%v)", path, ws, gs, ok)
+		}
+	}
+}
+
+func TestPlaceIsDeterministicAndStable(t *testing.T) {
+	p, _ := journaledPlacer(2)
+	sets, err := p.Place("/fed/a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("slots = %d, want 3", len(sets))
+	}
+	primaries := map[string]bool{}
+	for _, rs := range sets {
+		if len(rs) != 2 {
+			t.Fatalf("replica set %v, want size 2", rs)
+		}
+		if rs[0] == rs[1] {
+			t.Fatalf("replica set %v repeats a server", rs)
+		}
+		primaries[rs.Primary()] = true
+	}
+	if len(primaries) != 3 {
+		t.Fatalf("primaries not spread across the fleet: %v", sets)
+	}
+	// Asking again — even with a different width — returns the same
+	// placement: it is stable for the life of the file.
+	again, err := p.Place("/fed/a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets, again) {
+		t.Fatalf("placement changed across calls: %v vs %v", sets, again)
+	}
+	// An independent placer with the same fleet decides identically —
+	// the assignment is a pure function of path and registration order.
+	p2, _ := journaledPlacer(2)
+	same, err := p2.Place("/fed/a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets, same) {
+		t.Fatalf("placement not deterministic: %v vs %v", sets, same)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	empty := NewPlacer(1)
+	if _, err := empty.Place("/x", 1); err == nil {
+		t.Fatal("placer with no servers accepted a placement")
+	}
+	p, _ := journaledPlacer(1)
+	if _, err := p.Place("relative", 1); err == nil {
+		t.Fatal("relative path accepted")
+	}
+	if _, ok := p.Lookup("/never-placed"); ok {
+		t.Fatal("Lookup invented a placement")
+	}
+}
+
+func TestPlacementReplayRebuildsTable(t *testing.T) {
+	p, j := journaledPlacer(2)
+	placeEverything(t, p)
+
+	p2 := replayPlacer(j, 2)
+	placementsEqual(t, p, p2)
+}
+
+func TestPlacementReplayIdempotent(t *testing.T) {
+	p, j := journaledPlacer(2)
+	placeEverything(t, p)
+
+	// Re-applying a full prefix — the sloppy crash cut — converges.
+	p2 := NewPlacer(2)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		p2.AddServer(s)
+	}
+	p2.Replay(j.Records())
+	p2.Replay(j.Records())
+	placementsEqual(t, p, p2)
+	if p2.Seq() != p.Seq() {
+		t.Fatalf("double replay moved seq: %d vs %d", p2.Seq(), p.Seq())
+	}
+}
+
+func TestPlacementReplayRestoresSeqHighWater(t *testing.T) {
+	p, j := journaledPlacer(1)
+	placeEverything(t, p)
+	preCrash := p.Seq()
+	if preCrash == 0 {
+		t.Fatal("no placements journaled")
+	}
+
+	p2 := replayPlacer(j, 1)
+	if p2.Seq() != preCrash {
+		t.Fatalf("seq after replay = %d, want %d", p2.Seq(), preCrash)
+	}
+	// A post-restart placement journals with a fresh sequence number.
+	if _, err := p2.Place("/fed/new", 2); err != nil {
+		t.Fatal(err)
+	}
+	recs := j.Records()
+	last := recs[len(recs)-1]
+	if last.Op != JPlace || last.Seq != preCrash+1 {
+		t.Fatalf("post-restart record = %+v, want seq %d", last, preCrash+1)
+	}
+}
+
+func TestPlacementReplayNotReJournaled(t *testing.T) {
+	p, j := journaledPlacer(2)
+	placeEverything(t, p)
+	before := j.Len()
+	replayPlacer(j, 2)
+	if j.Len() != before {
+		t.Fatalf("replay grew the journal: %d -> %d", before, j.Len())
+	}
+}
+
+func TestPlacementJournalTornTail(t *testing.T) {
+	p, j := journaledPlacer(2)
+	placeEverything(t, p)
+
+	var buf bytes.Buffer
+	if _, err := j.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, j.Records()) {
+		t.Fatal("text round trip changed records")
+	}
+
+	// A torn final line (MCAT crash mid-append) drops only the last
+	// placement; replaying the survivors yields a valid table.
+	torn := strings.TrimSuffix(buf.String(), "\n")
+	torn = torn[:len(torn)-3]
+	recs2, err := ReadJournal(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail: %v", err)
+	}
+	if len(recs2) != len(recs)-1 {
+		t.Fatalf("torn tail: %d records, want %d", len(recs2), len(recs)-1)
+	}
+	p2 := NewPlacer(2)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		p2.AddServer(s)
+	}
+	p2.Replay(recs2)
+	// The surviving placements match; the torn one is simply re-decided
+	// (deterministically, so it lands where it would have anyway).
+	for _, path := range p2.Paths() {
+		ws, _ := p.Lookup(path)
+		gs, _ := p2.Lookup(path)
+		if !reflect.DeepEqual(ws, gs) {
+			t.Errorf("%s: want %v, got %v", path, ws, gs)
+		}
+	}
+	redecided, err := p2.Place("/fed/wide", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, _ := p.Lookup("/fed/wide")
+	if !reflect.DeepEqual(redecided, original) {
+		t.Fatalf("re-decided placement diverged: %v vs %v", redecided, original)
+	}
+}
+
+func TestPlacementRecordRoundTrip(t *testing.T) {
+	sets := []ReplicaSet{{"s0", "s1"}, {"s1", "s2"}, {"s2", "s0"}}
+	r := Record{Op: JPlace, Path: "/fed/a", Value: EncodePlacement(sets), Seq: 7, Time: 42}
+	line := EncodeRecord(nil, r)
+	got, err := DecodeRecord(string(line))
+	if err != nil {
+		t.Fatalf("decode %q: %v", line, err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip:\nwant %+v\ngot  %+v", r, got)
+	}
+	back, err := DecodePlacement(got.Value)
+	if err != nil || !reflect.DeepEqual(back, sets) {
+		t.Fatalf("DecodePlacement = %v, %v", back, err)
+	}
+	for _, bad := range []string{"", "s0,;s1", ";", "s0;;s1"} {
+		if _, err := DecodePlacement(bad); err == nil {
+			t.Errorf("DecodePlacement(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestPlacerDetachStopsAppends(t *testing.T) {
+	p, j := journaledPlacer(1)
+	if _, err := p.Place("/pre", 1); err != nil {
+		t.Fatal(err)
+	}
+	n := j.Len()
+	p.SetJournal(nil) // the crash: a dead MCAT journals nothing
+	if _, err := p.Place("/post", 1); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != n {
+		t.Fatalf("detached placer still journaling: %d -> %d", n, j.Len())
+	}
+}

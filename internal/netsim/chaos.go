@@ -31,6 +31,16 @@ const (
 	FaultServerKill
 	// FaultServerRestart brings a fresh server up from the journal.
 	FaultServerRestart
+	// FaultShardKill crashes one server shard of a federated fleet
+	// (Node carries the shard index): only that shard's connections
+	// reset, the rest of the fleet keeps serving.
+	FaultShardKill
+	// FaultShardRestart brings the shard (Node) back up from its journal.
+	FaultShardRestart
+	// FaultShardPartition cuts one shard (Node) off the network for Dur:
+	// its connections reset and dials toward it fail until the window
+	// elapses, but the shard process stays alive.
+	FaultShardPartition
 )
 
 func (k FaultKind) String() string {
@@ -45,6 +55,12 @@ func (k FaultKind) String() string {
 		return "server-kill"
 	case FaultServerRestart:
 		return "server-restart"
+	case FaultShardKill:
+		return "shard-kill"
+	case FaultShardRestart:
+		return "shard-restart"
+	case FaultShardPartition:
+		return "shard-partition"
 	}
 	return "fault(?)"
 }
@@ -53,7 +69,7 @@ func (k FaultKind) String() string {
 type FaultEvent struct {
 	At    time.Duration // offset from schedule start
 	Kind  FaultKind
-	Node  int           // FaultKillConns, FaultPartition
+	Node  int           // FaultKillConns, FaultPartition; shard index for FaultShard*
 	Dur   time.Duration // FaultPartition window
 	Extra time.Duration // FaultSpike magnitude (0 = clear)
 }
@@ -70,6 +86,17 @@ type Injector interface {
 	LatencySpike(extra time.Duration)
 	KillServer()
 	RestartServer()
+}
+
+// ShardInjector is the federated extension of Injector: fault verbs scoped
+// to one server shard of a fleet. The runner downgrades shard events to
+// whole-server events on plain Injectors, so a single-server testbed can
+// still run a schedule that was generated with shard faults.
+type ShardInjector interface {
+	Injector
+	KillShard(shard int)
+	RestartShard(shard int)
+	PartitionShard(shard int, d time.Duration)
 }
 
 // ChaosConfig sizes a generated schedule. Counts of zero omit that fault
@@ -89,6 +116,13 @@ type ChaosConfig struct {
 
 	ServerKills    int           // server kill+restart pairs, evenly spread
 	ServerDowntime time.Duration // gap between a kill and its restart (default Horizon/20)
+
+	Shards        int           // federated fleet size shard faults are drawn over (min 1)
+	ShardKills    int           // shard kill+restart pairs on random shards, evenly spread
+	ShardDowntime time.Duration // gap between a shard kill and its restart (default Horizon/20)
+
+	ShardPartitions   int           // shard partition windows on random shards
+	ShardPartitionDur time.Duration // length of each window (default Horizon/10)
 }
 
 // GenSchedule deterministically generates a fault schedule from a seed.
@@ -111,6 +145,15 @@ func GenSchedule(seed int64, cfg ChaosConfig) Schedule {
 	}
 	if cfg.ServerDowntime <= 0 {
 		cfg.ServerDowntime = cfg.Horizon / 20
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardDowntime <= 0 {
+		cfg.ShardDowntime = cfg.Horizon / 20
+	}
+	if cfg.ShardPartitionDur <= 0 {
+		cfg.ShardPartitionDur = cfg.Horizon / 10
 	}
 
 	var s Schedule
@@ -150,6 +193,29 @@ func GenSchedule(seed int64, cfg ChaosConfig) Schedule {
 		s = append(s, FaultEvent{At: at, Kind: FaultServerKill})
 		s = append(s, FaultEvent{At: at + cfg.ServerDowntime, Kind: FaultServerRestart})
 	}
+	// Shard kills: same slotting discipline, plus a shard draw per kill.
+	// This class draws from the rng strictly after every earlier class, so
+	// adding shard faults to a config never perturbs the schedule an
+	// existing seed produced for the established classes.
+	for i := 0; i < cfg.ShardKills; i++ {
+		slot := cfg.Horizon / time.Duration(cfg.ShardKills)
+		lo := time.Duration(i) * slot
+		span := slot - cfg.ShardDowntime
+		if span <= 0 {
+			span = slot / 2
+		}
+		at := lo + uniform(span)
+		shard := rng.Intn(cfg.Shards)
+		s = append(s, FaultEvent{At: at, Kind: FaultShardKill, Node: shard})
+		s = append(s, FaultEvent{At: at + cfg.ShardDowntime, Kind: FaultShardRestart, Node: shard})
+	}
+	// Shard partitions draw strictly after shard kills, preserving every
+	// earlier class's schedule for existing seeds (same discipline as
+	// above). The window is self-clearing, so no paired restore event.
+	for i := 0; i < cfg.ShardPartitions; i++ {
+		s = append(s, FaultEvent{At: uniform(cfg.Horizon - cfg.ShardPartitionDur),
+			Kind: FaultShardPartition, Node: rng.Intn(cfg.Shards), Dur: cfg.ShardPartitionDur})
+	}
 	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
 	return s
 }
@@ -176,6 +242,30 @@ func (s Schedule) Run(stop <-chan struct{}, inj Injector) bool {
 			inj.KillServer()
 		case FaultServerRestart:
 			inj.RestartServer()
+		case FaultShardKill:
+			if si, ok := inj.(ShardInjector); ok {
+				si.KillShard(ev.Node)
+			} else {
+				inj.KillServer() // single-server downgrade
+			}
+		case FaultShardRestart:
+			if si, ok := inj.(ShardInjector); ok {
+				si.RestartShard(ev.Node)
+			} else {
+				inj.RestartServer()
+			}
+		case FaultShardPartition:
+			if si, ok := inj.(ShardInjector); ok {
+				si.PartitionShard(ev.Node, ev.Dur)
+			} else {
+				// Single-server downgrade: cutting the only shard off is a
+				// momentary whole-server outage. A kill/restart pair resets
+				// every established stream at the window's onset; redials
+				// then succeed (the downgrade keeps the blip, not the
+				// window, since plain Injectors have no dial-blocking verb).
+				inj.KillServer()
+				inj.RestartServer()
+			}
 		}
 	}
 	return true

@@ -196,6 +196,42 @@ func TestPartitionWindowBlocksDials(t *testing.T) {
 	}
 }
 
+func TestShardPartitionWindow(t *testing.T) {
+	n := NewNetwork(Loopback(), 1)
+	c0, _ := n.DialShard(0, 0)
+	c1, _ := n.DialShard(0, 1)
+	defer c0.Close()
+
+	n.PartitionShard(1, 30*time.Millisecond)
+	// Established connections to the partitioned shard reset at once...
+	if _, err := c1.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("shard-1 read during partition = %v, want ErrReset", err)
+	}
+	if err := n.ShardDialFault(1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("ShardDialFault during window = %v, want ErrPartitioned", err)
+	}
+	// ...while the rest of the fleet, reached from the same node, is
+	// untouched: the fault is scoped to the shard, not the dialing node.
+	if err := n.ShardDialFault(0); err != nil {
+		t.Fatalf("ShardDialFault on healthy shard = %v", err)
+	}
+	if err := n.DialFault(0); err != nil {
+		t.Fatalf("DialFault on dialing node = %v", err)
+	}
+	go func() { c0.Write([]byte("x")) }()
+	if n.Conns() != 1 {
+		t.Fatalf("conns after shard partition = %d, want 1", n.Conns())
+	}
+	// The window heals on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for n.ShardDialFault(1) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("shard partition never healed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestLatencySpikeDelaysDelivery(t *testing.T) {
 	n := NewNetwork(Loopback(), 1)
 	c, s := n.Dial(0)

@@ -28,17 +28,26 @@ type Network struct {
 	buses    []*Bus
 	icByNode []*Limiter // MPI interconnect injection per node
 
-	mu        sync.Mutex
-	conns     int               // guarded by mu
-	live      map[*Conn]int     // guarded by mu; client endpoint -> dialing node
-	partUntil map[int]time.Time // guarded by mu; node -> partition end
-	jitterSeq int64             // guarded by mu
+	mu             sync.Mutex
+	conns          int                // guarded by mu
+	live           map[*Conn]connInfo // guarded by mu; client endpoint -> origin
+	partUntil      map[int]time.Time  // guarded by mu; node -> partition end
+	shardPartUntil map[int]time.Time  // guarded by mu; shard -> partition end
+	jitterSeq      int64              // guarded by mu
 
 	// spike is the extra one-way latency (nanoseconds) currently injected
 	// on every connection; see SetLatencySpike.
 	spike atomic.Int64
 
 	tracer *trace.Tracer // guarded by mu; nil = tracing off
+}
+
+// connInfo tags one live connection with where it came from and which
+// server shard it reaches, so faults can be scoped to either end: node
+// faults (kills, partitions) select by node, shard crashes by shard.
+type connInfo struct {
+	node  int
+	shard int
 }
 
 // SetTracer makes the network record an open-connection gauge and
@@ -54,7 +63,7 @@ func NewNetwork(prof Profile, nodes int) *Network {
 	if nodes < 1 {
 		nodes = 1
 	}
-	n := &Network{prof: prof, nodes: nodes, live: make(map[*Conn]int)}
+	n := &Network{prof: prof, nodes: nodes, live: make(map[*Conn]connInfo)}
 	if prof.PathUpRate > 0 {
 		n.pathUp = NewLimiter(prof.PathUpRate)
 	}
@@ -111,6 +120,14 @@ func (n *Network) Conns() int {
 // charging one RTT of connection setup, and returns both endpoints. The
 // caller hands the server end to the SRB server (srb.Server.ServeConn).
 func (n *Network) Dial(node int) (client, server net.Conn) {
+	return n.DialShard(node, 0)
+}
+
+// DialShard is Dial toward a specific server shard of a federated fleet:
+// identical shaping (every shard sits behind the same WAN path in the
+// simulation), but the connection is tagged so KillShardConns can reset
+// exactly one shard's streams — a single server crashing out of N.
+func (n *Network) DialShard(node, shard int) (client, server net.Conn) {
 	node = n.clamp(node)
 	if rtt := n.prof.RTT(); rtt > 0 {
 		sleep(rtt) // TCP handshake
@@ -130,7 +147,7 @@ func (n *Network) Dial(node int) (client, server net.Conn) {
 	s.spike = &n.spike
 	n.mu.Lock()
 	n.conns++
-	n.live[c] = node
+	n.live[c] = connInfo{node: node, shard: shard}
 	tr := n.tracer
 	if n.prof.LatencyJitter > 0 {
 		// Independent per-direction jitter sources with deterministic
@@ -181,13 +198,30 @@ func (n *Network) KillConns(node int) {
 	node = n.clamp(node)
 	var victims []*Conn
 	n.mu.Lock()
-	for c, nd := range n.live {
-		if nd == node {
+	for c, info := range n.live {
+		if info.node == node {
 			victims = append(victims, c)
 		}
 	}
 	n.mu.Unlock()
 	// Kill outside the lock: it runs the OnClose hook, which re-locks mu.
+	for _, c := range victims {
+		c.Kill()
+	}
+}
+
+// KillShardConns resets every live connection to one server shard,
+// whichever node dialed it — the fault surface of a single shard process
+// dying in a federated fleet.
+func (n *Network) KillShardConns(shard int) {
+	var victims []*Conn
+	n.mu.Lock()
+	for c, info := range n.live {
+		if info.shard == shard {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
 	for _, c := range victims {
 		c.Kill()
 	}
@@ -218,6 +252,35 @@ func (n *Network) Partition(node int, d time.Duration) {
 	n.partUntil[node] = now().Add(d)
 	n.mu.Unlock()
 	n.KillConns(node)
+}
+
+// PartitionShard cuts one server shard off for the duration d: every
+// established connection to that shard resets now and ShardDialFault
+// fails until the window elapses — an asymmetric split between the
+// client side of the fleet and a single server, while the shard process
+// itself keeps running (unlike KillShard, its journal stays attached).
+func (n *Network) PartitionShard(shard int, d time.Duration) {
+	n.mu.Lock()
+	if n.shardPartUntil == nil {
+		n.shardPartUntil = make(map[int]time.Time)
+	}
+	n.shardPartUntil[shard] = now().Add(d)
+	n.mu.Unlock()
+	n.KillShardConns(shard)
+}
+
+// ShardDialFault reports whether shard is dialable right now: nil
+// normally, a transient ErrPartitioned while the shard's partition
+// window is open. Shard dialers consult it before Dial, mirroring
+// DialFault on the node side.
+func (n *Network) ShardDialFault(shard int) error {
+	n.mu.Lock()
+	until, ok := n.shardPartUntil[shard]
+	n.mu.Unlock()
+	if ok && now().Before(until) {
+		return fmt.Errorf("%w: shard %d", ErrPartitioned, shard)
+	}
+	return nil
 }
 
 // SetLatencySpike adds extra one-way latency to every delivery on every

@@ -1,0 +1,381 @@
+package srb_test
+
+// The federation suite: replica semantics promoted from one server's
+// resource pairs (replica_test.go) to a fleet of servers behind an MCAT
+// placer. It exercises the full stack — cluster.Testbed shards,
+// mcat.Placer placement, core.FedFS routing — through the public API
+// only, which is why it lives in an external test package.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"semplar/internal/adio"
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+)
+
+func fastSpec() cluster.Spec {
+	return cluster.Spec{Name: "fed-fast", Profile: netsim.Loopback()}
+}
+
+// fedEnv couples a federated testbed with a FedFS client on node 0.
+type fedEnv struct {
+	tb *cluster.Testbed
+	fs *core.FedFS
+}
+
+func newFedEnv(t *testing.T, shards, replicas int, cfg core.FedConfig) *fedEnv {
+	t.Helper()
+	tb := cluster.NewFederated(fastSpec(), 1, shards, replicas)
+	for i := 0; i < shards; i++ {
+		if err := tb.ActiveShard(i).MkdirAll("/fed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Endpoints = tb.FedEndpoints(0)
+	cfg.Placer = tb.Placer()
+	fs, err := core.NewFedFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fedEnv{tb: tb, fs: fs}
+}
+
+func shardIndex(t *testing.T, name string) int {
+	t.Helper()
+	i, err := strconv.Atoi(name[1:])
+	if err != nil {
+		t.Fatalf("shard name %q", name)
+	}
+	return i
+}
+
+// slotImage extracts the dense byte image slot holds for content striped
+// at the given stripe size and width — what every replica of the slot
+// must store bit-identically.
+func slotImage(content []byte, stripe, width, slot int) []byte {
+	var out []byte
+	for b := slot * stripe; b < len(content); b += stripe * width {
+		end := b + stripe
+		if end > len(content) {
+			end = len(content)
+		}
+		out = append(out, content[b:end]...)
+	}
+	return out
+}
+
+// shardSlotBytes reads the physical bytes of one slot file directly off a
+// shard's store (which survives shard restarts), bypassing the protocol.
+func shardSlotBytes(t *testing.T, tb *cluster.Testbed, shard string, slotPath string) []byte {
+	t.Helper()
+	idx := shardIndex(t, shard)
+	srv := tb.ActiveShard(idx)
+	if srv == nil {
+		t.Fatalf("shard %s is down", shard)
+	}
+	e, err := srv.Catalog().Lookup(slotPath)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", slotPath, shard, err)
+	}
+	obj, err := tb.ShardStore(idx).Open(e.PhysicalKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, e.Size)
+	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// requireConverged asserts every server of every slot's replica set holds
+// the exact slot image for content.
+func requireConverged(t *testing.T, tb *cluster.Testbed, path string, content []byte, stripe int) {
+	t.Helper()
+	slots, ok := tb.Placer().Lookup(path)
+	if !ok {
+		t.Fatalf("no placement for %s", path)
+	}
+	for slot, servers := range slots {
+		want := slotImage(content, stripe, len(slots), slot)
+		for _, server := range servers {
+			got := shardSlotBytes(t, tb, server, core.SlotPath(path, slot))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("slot %d on %s diverged: %d bytes vs %d expected",
+					slot, server, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestFederationPlacement pins the placement function across fleet
+// shapes: distinct servers per replica set, width and replication clamped
+// to the fleet, primaries rotating so no two slots share one.
+func TestFederationPlacement(t *testing.T) {
+	cases := []struct {
+		name      string
+		shards    int
+		replicas  int
+		width     int
+		wantSlots int
+		wantRepl  int
+	}{
+		{"3-servers-2-replicas", 3, 2, 3, 3, 2},
+		{"5-servers-3-replicas", 5, 3, 5, 5, 3},
+		{"width-below-fleet", 4, 2, 2, 2, 2},
+		{"width-clamped-to-fleet", 2, 1, 6, 2, 1},
+		{"replication-clamped-to-fleet", 2, 5, 2, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := cluster.NewFederated(fastSpec(), 1, tc.shards, tc.replicas)
+			p := tb.Placer()
+			slots, err := p.Place("/fed/file", tc.width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(slots) != tc.wantSlots {
+				t.Fatalf("slots = %d, want %d", len(slots), tc.wantSlots)
+			}
+			primaries := map[string]int{}
+			for slot, rs := range slots {
+				if len(rs) != tc.wantRepl {
+					t.Fatalf("slot %d replica set %v, want %d servers", slot, rs, tc.wantRepl)
+				}
+				seen := map[string]bool{}
+				for _, s := range rs {
+					if seen[s] {
+						t.Fatalf("slot %d repeats %s: %v", slot, s, rs)
+					}
+					seen[s] = true
+				}
+				primaries[rs.Primary()]++
+			}
+			for s, n := range primaries {
+				if n > 1 {
+					t.Fatalf("%s is primary of %d slots", s, n)
+				}
+			}
+			// Placement is stable: asking again, even with a different
+			// width, returns the committed answer.
+			again, err := p.Place("/fed/file", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(again) != fmt.Sprint(slots) {
+				t.Fatalf("placement drifted: %v then %v", slots, again)
+			}
+		})
+	}
+}
+
+// TestFederationReadFailoverOrder verifies reads honor the replica
+// order: the primary serves while it is up (observable by tampering with
+// its physical copy), and the first replica takes over when the
+// primary's shard dies.
+func TestFederationReadFailoverOrder(t *testing.T) {
+	const stripe = 4096
+	env := newFedEnv(t, 3, 2, core.FedConfig{Width: 1, StripeSize: stripe})
+	content := make([]byte, stripe)
+	rand.New(rand.NewSource(20)).Read(content)
+
+	f, err := env.fs.Open("/fed/order", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	slots, _ := env.tb.Placer().Lookup("/fed/order")
+	primary, replica := slots[0][0], slots[0][1]
+
+	// Tamper with the primary's physical copy: a healthy read must show
+	// the tampered byte, proving the primary is preferred over the
+	// (clean) replica.
+	pIdx := shardIndex(t, primary)
+	e, err := env.tb.ActiveShard(pIdx).Catalog().Lookup(core.SlotPath("/fed/order", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := env.tb.ShardStore(pIdx).Open(e.PhysicalKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := content[0] ^ 0xff
+	if _, err := obj.WriteAt([]byte{tampered}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := env.fs.Open("/fed/order", adio.O_RDONLY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := r1.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	r1.Close()
+	if got[0] != tampered {
+		t.Fatalf("healthy read byte = %#x, want primary's %#x", got[0], tampered)
+	}
+
+	// Kill the primary's shard: a fresh read must fail over to the first
+	// replica and see the clean byte.
+	env.tb.KillShard(pIdx)
+	r2, err := env.fs.Open("/fed/order", adio.O_RDONLY, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("failover read via %s: %v", replica, err)
+	}
+	if got[0] != content[0] {
+		t.Fatalf("failover read byte = %#x, want replica's %#x", got[0], content[0])
+	}
+	env.tb.RestartShard(pIdx)
+}
+
+// TestFederationReplication is the sync-vs-async table: with one replica
+// shard dead, synchronous replication refuses the write (reporting the
+// contiguous prefix confirmed on every replica), while asynchronous
+// replication acknowledges on the primary, leaves an observable
+// divergence window, and catches the replica up after its shard restarts
+// once Sync drains the backlog.
+func TestFederationReplication(t *testing.T) {
+	const stripe = 2048
+	cases := []struct {
+		name  string
+		async bool
+		retry srb.RetryPolicy
+	}{
+		// Sync: fail fast so the dead replica surfaces as a write error.
+		{"sync-dead-replica-blocks-write", false, srb.RetryPolicy{}},
+		// Async: generous retries so the queued replica writes ride out
+		// the shard's downtime and land after the restart.
+		{"async-diverges-then-catches-up", true,
+			srb.RetryPolicy{MaxAttempts: 60, BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff: 20 * time.Millisecond, Multiplier: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Width 2 over 3 shards leaves one server that is a replica
+			// but nobody's primary — the victim, so primaries stay up in
+			// both modes.
+			env := newFedEnv(t, 3, 2, core.FedConfig{
+				Width: 2, StripeSize: stripe, Async: tc.async, Retry: tc.retry})
+			path := "/fed/repl"
+			slots, err := env.tb.Placer().Place(path, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim := slots[1][1]
+			if victim == slots[0].Primary() || victim == slots[1].Primary() {
+				t.Fatalf("victim %s is a primary: %v", victim, slots)
+			}
+			firstHit := -1
+			for slot, rs := range slots {
+				for _, s := range rs {
+					if s == victim {
+						firstHit = slot
+						break
+					}
+				}
+				if firstHit >= 0 {
+					break
+				}
+			}
+			vIdx := shardIndex(t, victim)
+			env.tb.KillShard(vIdx)
+
+			content := make([]byte, 4*stripe)
+			rand.New(rand.NewSource(21)).Read(content)
+			f, err := env.fs.Open(path, adio.O_RDWR|adio.O_CREATE, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, werr := f.WriteAt(content, 0)
+
+			if !tc.async {
+				// Sync: the write must not claim success, and the count
+				// is the contiguous prefix confirmed on every replica.
+				if werr == nil {
+					t.Fatalf("sync write with dead replica succeeded (n=%d)", n)
+				}
+				if want := firstHit * stripe; n != want {
+					t.Fatalf("confirmed prefix = %d, want %d", n, want)
+				}
+				f.Close()
+				// After the shard returns, a rewrite converges everywhere.
+				// O_CREATE matters: the victim never materialized its slot
+				// file, so the repair write must be allowed to create it.
+				env.tb.RestartShard(vIdx)
+				f2, err := env.fs.Open(path, adio.O_RDWR|adio.O_CREATE, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n, err := f2.WriteAt(content, 0); err != nil || n != len(content) {
+					t.Fatalf("rewrite = %d, %v", n, err)
+				}
+				if err := f2.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				if err := f2.Close(); err != nil {
+					t.Fatal(err)
+				}
+				requireConverged(t, env.tb, path, content, stripe)
+				return
+			}
+
+			// Async: the primary ack is enough.
+			if werr != nil || n != len(content) {
+				t.Fatalf("async write = %d, %v; want full ack", n, werr)
+			}
+			// Divergence window: the victim's store has no slot file yet
+			// while the primaries already hold their images.
+			if keys := env.tb.ShardStore(vIdx).Keys(); len(keys) != 0 {
+				t.Fatalf("victim store has %v during divergence window", keys)
+			}
+			for slot := range slots {
+				want := slotImage(content, stripe, len(slots), slot)
+				got := shardSlotBytes(t, env.tb, slots[slot].Primary(), core.SlotPath(path, slot))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("primary of slot %d incomplete during window", slot)
+				}
+			}
+			// Restart the shard; Sync drains the replica backlog, whose
+			// retries ride out the downtime — catch-up after restart.
+			env.tb.RestartShard(vIdx)
+			if err := f.Sync(); err != nil {
+				t.Fatalf("sync after restart: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			requireConverged(t, env.tb, path, content, stripe)
+		})
+	}
+}
+
+// TestFederationOpenWithoutPlacementFails pins Delete's contract for
+// never-placed paths: the placer, not the servers, answers.
+func TestFederationOpenWithoutPlacementFails(t *testing.T) {
+	env := newFedEnv(t, 2, 1, core.FedConfig{})
+	if err := env.fs.Delete("/fed/never-created"); !errors.Is(err, srb.ErrNotFound) {
+		t.Fatalf("delete of unplaced path = %v", err)
+	}
+}

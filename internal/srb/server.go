@@ -135,6 +135,15 @@ func (s *Server) AddResource(name, kind string, st storage.Store) {
 // Catalog exposes the MCAT (used by tests and tools).
 func (s *Server) Catalog() *mcat.Catalog { return s.cat }
 
+// Resource returns the storage store registered under name, or nil if no
+// such resource exists. Federation tests use it to inspect (and corrupt)
+// one server's physical objects without going through the protocol.
+func (s *Server) Resource(name string) storage.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resources[name]
+}
+
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
