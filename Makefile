@@ -54,6 +54,8 @@ fuzz-short:
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeFileInfo -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzWritevRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeWritev -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadvRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeReadv -fuzztime=$(FUZZTIME)
 
 # Seeded chaos smoke: a full workload under connection kills, partitions,
 # latency spikes and a server crash/restart, with end-to-end checksum
@@ -69,16 +71,17 @@ chaos-long:
 	$(GO) test -tags chaoslong ./internal/chaos -run TestChaosLong -count=1 -v
 
 # Wire hot-path snapshot (pipelining, write coalescing, allocs/op,
-# 1-vs-3-server federated striping): writes $(BENCH_SNAP) for committing
-# alongside the change it measures, then runs the paper-figure benchmarks.
-BENCH_SNAP ?= BENCH_8.json
+# 1-vs-3-server federated striping, strided-read fast paths): writes
+# $(BENCH_SNAP) for committing alongside the change it measures, then runs
+# the paper-figure benchmarks.
+BENCH_SNAP ?= BENCH_9.json
 
 bench:
 	$(GO) run ./cmd/benchsnap -out $(BENCH_SNAP)
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Tiny benchsnap run (result discarded): proves the measurement harness
-# still works and that pipelining has not regressed below the serialized
-# baseline. Wired into CI.
+# still works and that neither pipelining nor the sieved strided read has
+# regressed below its naive baseline. Wired into CI.
 bench-smoke:
 	$(GO) run ./cmd/benchsnap -quick -out -

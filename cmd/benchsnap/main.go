@@ -16,10 +16,15 @@
 //     pushed through the federated driver against one device-metered
 //     server and against three, so per-server storage bandwidth — the
 //     bottleneck the paper's testbeds hit — is what scales.
+//  5. What do the noncontiguous fast paths buy? The same strided view read
+//     is issued naively (one round trip per record), data-sieved (windowed
+//     contiguous reads), as list I/O (one offset/length vector on the
+//     wire), and as a two-phase collective across ranks whose views tile
+//     the file.
 //
 // Usage:
 //
-//	benchsnap [-out BENCH_8.json] [-ops 400] [-size 512] [-depth 16]
+//	benchsnap [-out BENCH_9.json] [-ops 400] [-size 512] [-depth 16]
 //	          [-latency 500us] [-quick]
 package main
 
@@ -36,6 +41,8 @@ import (
 	"semplar/internal/adio"
 	"semplar/internal/core"
 	"semplar/internal/mcat"
+	"semplar/internal/mpi"
+	"semplar/internal/mpiio"
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
@@ -71,6 +78,11 @@ type config struct {
 	FedStripeBytes int     `json:"fed_stripe_bytes"`
 	FedServers     int     `json:"fed_servers"`
 	FedWriteMBps   float64 `json:"fed_write_mbps"`
+
+	StridedRecords     int `json:"strided_records"`
+	StridedRecBytes    int `json:"strided_rec_bytes"`
+	StridedStrideBytes int `json:"strided_stride_bytes"`
+	TwoPhaseRanks      int `json:"two_phase_ranks"`
 }
 
 type derived struct {
@@ -84,10 +96,22 @@ type derived struct {
 	// over the FedServers-server one: how much striping across servers
 	// buys when per-server storage bandwidth is the bottleneck.
 	FederationSpeedup float64 `json:"federation_speedup"`
+	// SieveSpeedup is the naive strided read wall time over the data-sieved
+	// one: what trading read amplification for round trips buys at WAN
+	// latency.
+	SieveSpeedup float64 `json:"sieve_speedup"`
+	// ListIOSpeedup is the naive strided read wall time over the list-I/O
+	// one (offset/length vector on the wire, no amplification).
+	ListIOSpeedup float64 `json:"listio_speedup"`
+	// TwoPhaseSpeedup is the naive strided read wall time over the
+	// two-phase collective read whose ranks' views tile the file. The
+	// collective moves TwoPhaseRanks× the data of the naive scenario, so
+	// this understates the per-byte win.
+	TwoPhaseSpeedup float64 `json:"two_phase_speedup"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "snapshot output path (- for stdout)")
+	out := flag.String("out", "BENCH_9.json", "snapshot output path (- for stdout)")
 	ops := flag.Int("ops", 400, "small ops per scenario")
 	size := flag.Int("size", 512, "bytes per small op")
 	depth := flag.Int("depth", 16, "concurrent in-flight ops in the pipelined scenario")
@@ -96,9 +120,11 @@ func main() {
 	flag.Parse()
 
 	fedBytes := 16 << 20
+	stridedRecords := 256
 	if *quick {
 		*ops = 40
 		fedBytes = 512 << 10
+		stridedRecords = 48
 	}
 	coalesceOps := *ops
 	stripe := 4 << 10
@@ -106,12 +132,16 @@ func main() {
 	fedStripe := 64 << 10
 	fedServers := 3
 	fedMBps := 128.0
+	stridedRec := 512
+	stridedStride := 4 << 10 // density 1/8: sparse enough for list I/O
 
 	cfg := config{
 		Ops: *ops, OpBytes: *size, OneWayLatNS: int64(*latency), Depth: *depth,
 		CoalesceOps: coalesceOps, StripeBytes: stripe, Streams: streams,
 		FedBytes: fedBytes, FedStripeBytes: fedStripe, FedServers: fedServers,
-		FedWriteMBps: fedMBps,
+		FedWriteMBps:   fedMBps,
+		StridedRecords: stridedRecords, StridedRecBytes: stridedRec,
+		StridedStrideBytes: stridedStride, TwoPhaseRanks: stridedStride / stridedRec,
 	}
 
 	serialized, err := runSmallWrites(*latency, *ops, *size, 1)
@@ -135,16 +165,36 @@ func main() {
 	check(err)
 	fedMany.Name = fmt.Sprintf("federated-write/%d-servers", fedServers)
 
+	naiveStrided, err := runStridedRead(*latency, stridedRecords, stridedRec, stridedStride,
+		adio.Hints{"sieve": "off", "listio": "off"})
+	check(err)
+	naiveStrided.Name = "strided-read/naive"
+	sievedStrided, err := runStridedRead(*latency, stridedRecords, stridedRec, stridedStride,
+		adio.Hints{"listio": "off"})
+	check(err)
+	sievedStrided.Name = "strided-read/sieved"
+	listioStrided, err := runStridedRead(*latency, stridedRecords, stridedRec, stridedStride,
+		adio.Hints{"sieve": "off"})
+	check(err)
+	listioStrided.Name = "strided-read/listio"
+	twoPhase, err := runTwoPhaseRead(*latency, stridedRecords, stridedRec, stridedStride)
+	check(err)
+	twoPhase.Name = "strided-read/two-phase"
+
 	snap := snapshot{
-		Bench:   "wire-pipelining",
-		Tool:    "cmd/benchsnap",
-		Go:      runtime.Version(),
-		Config:  cfg,
-		Results: []result{serialized, pipelined, uncoalesced, coalesced, fedOne, fedMany},
+		Bench:  "wire-pipelining",
+		Tool:   "cmd/benchsnap",
+		Go:     runtime.Version(),
+		Config: cfg,
+		Results: []result{serialized, pipelined, uncoalesced, coalesced, fedOne, fedMany,
+			naiveStrided, sievedStrided, listioStrided, twoPhase},
 		Derived: derived{
 			PipelineSpeedup:   ratio(serialized.WallNS, pipelined.WallNS),
 			CoalesceSpeedup:   ratio(uncoalesced.WallNS, coalesced.WallNS),
 			FederationSpeedup: ratio(fedOne.WallNS, fedMany.WallNS),
+			SieveSpeedup:      ratio(naiveStrided.WallNS, sievedStrided.WallNS),
+			ListIOSpeedup:     ratio(naiveStrided.WallNS, listioStrided.WallNS),
+			TwoPhaseSpeedup:   ratio(naiveStrided.WallNS, twoPhase.WallNS),
 		},
 	}
 
@@ -156,9 +206,10 @@ func main() {
 		check(err)
 	} else {
 		check(os.WriteFile(*out, enc, 0o644))
-		fmt.Printf("wrote %s: pipeline speedup %.2fx, coalesce speedup %.2fx, federation speedup %.2fx\n",
+		fmt.Printf("wrote %s: pipeline %.2fx, coalesce %.2fx, federation %.2fx, sieve %.2fx, listio %.2fx, two-phase %.2fx\n",
 			*out, snap.Derived.PipelineSpeedup, snap.Derived.CoalesceSpeedup,
-			snap.Derived.FederationSpeedup)
+			snap.Derived.FederationSpeedup, snap.Derived.SieveSpeedup,
+			snap.Derived.ListIOSpeedup, snap.Derived.TwoPhaseSpeedup)
 	}
 
 	// A snapshot whose headline numbers show no improvement means a hot
@@ -173,6 +224,126 @@ func main() {
 			fedServers, snap.Derived.FederationSpeedup)
 		os.Exit(1)
 	}
+	if snap.Derived.SieveSpeedup < 1.0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: sieved strided read slower than naive (%.2fx)\n",
+			snap.Derived.SieveSpeedup)
+		os.Exit(1)
+	}
+}
+
+// stridedFS builds an SRBFS registry over latency-shaped pipes and lays
+// down `records` frames of `stride` physical bytes.
+func stridedFS(latency time.Duration, records, stride int) (*adio.Registry, error) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	fs, err := core.NewSRBFS(core.SRBFSConfig{
+		Dial: func() (net.Conn, error) {
+			cEnd, sEnd := netsim.Pipe(latency, nil, nil)
+			go srv.ServeConn(sEnd)
+			return cEnd, nil
+		},
+		User:       "bench",
+		Streams:    2,
+		StripeSize: 64 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := &adio.Registry{}
+	reg.Register(fs)
+
+	prep, err := mpiio.OpenLocal(reg, "srb:/strided.dat", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer prep.Close()
+	buf := make([]byte, records*stride)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if _, err := prep.WriteAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// runStridedRead reads `records` view frames of recSize bytes spaced stride
+// bytes apart through one mpiio handle; hints select naive, sieved, or
+// list-I/O dispatch.
+func runStridedRead(latency time.Duration, records, recSize, stride int, hints adio.Hints) (result, error) {
+	reg, err := stridedFS(latency, records, stride)
+	if err != nil {
+		return result{}, err
+	}
+	f, err := mpiio.OpenLocal(reg, "srb:/strided.dat", adio.O_RDONLY, hints)
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+	if err := f.SetView(mpiio.View{BlockLen: int64(recSize), Stride: int64(stride)}); err != nil {
+		return result{}, err
+	}
+
+	out := make([]byte, records*recSize)
+	start := time.Now()
+	n, err := f.ReadAt(out, 0)
+	wall := time.Since(start)
+	if err != nil {
+		return result{}, err
+	}
+	if n != len(out) {
+		return result{}, fmt.Errorf("strided read got %d of %d bytes", n, len(out))
+	}
+	return result{
+		Ops:     records,
+		WallNS:  wall.Nanoseconds(),
+		NSPerOp: wall.Nanoseconds() / int64(records),
+	}, nil
+}
+
+// runTwoPhaseRead reads the same strided file collectively: stride/recSize
+// ranks install interleaved views that together tile every byte, so the
+// aggregators' coalesced reads are large and contiguous. Note the
+// collective moves ranks× the bytes of the single-rank scenarios.
+func runTwoPhaseRead(latency time.Duration, records, recSize, stride int) (result, error) {
+	np := stride / recSize
+	reg, err := stridedFS(latency, records, stride)
+	if err != nil {
+		return result{}, err
+	}
+	start := time.Now()
+	err = mpi.Run(np, func(c *mpi.Comm) error {
+		f, err := mpiio.Open(c, reg, "srb:/strided.dat", adio.O_RDONLY, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		v := mpiio.View{
+			Disp:     int64(c.Rank() * recSize),
+			BlockLen: int64(recSize),
+			Stride:   int64(stride),
+		}
+		if err := f.SetView(v); err != nil {
+			return err
+		}
+		out := make([]byte, records*recSize)
+		n, err := f.ReadAtAll(c, out, 0)
+		if err != nil {
+			return err
+		}
+		if n != len(out) {
+			return fmt.Errorf("rank %d read %d of %d bytes", c.Rank(), n, len(out))
+		}
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return result{}, err
+	}
+	return result{
+		Ops:     records,
+		WallNS:  wall.Nanoseconds(),
+		NSPerOp: wall.Nanoseconds() / int64(records),
+	}, nil
 }
 
 // runSmallWrites issues ops writes of size bytes each over ONE connection

@@ -28,7 +28,18 @@ const (
 // ErrUnknownDriver is returned when a path names an unregistered scheme.
 var ErrUnknownDriver = errors.New("adio: unknown driver")
 
-// Hints carries MPI_Info-style key/value tuning hints to the driver.
+// Hints carries MPI_Info-style key/value tuning hints to the driver and to
+// the MPI-IO layer above it. Keys understood today:
+//
+//	io_threads      mpiio: async engine worker count
+//	streams         SRBFS: connections to stripe across
+//	stripe_size     SRBFS/federation: stripe unit in bytes
+//	sieve           mpiio: "on"/"off", data sieving for strided views (default on)
+//	sieve_buf_size  mpiio: sieve window size in bytes (default 524288)
+//	listio          mpiio: "on"/"off", vectored list I/O for sparse views (default on)
+//	listio_density  mpiio: view density (BlockLen/Stride) below which list
+//	                I/O is preferred over sieving when the driver supports
+//	                VectorIO (default 0.25)
 type Hints map[string]string
 
 // Get returns the hint value or a default.
@@ -51,6 +62,28 @@ type File interface {
 	Truncate(size int64) error
 	Sync() error
 	Close() error
+}
+
+// Vec is one segment of a vectored (list-I/O) transfer: len(Buf) bytes at
+// absolute file offset Off.
+type Vec struct {
+	Off int64
+	Buf []byte
+}
+
+// VectorIO is an optional fast path a driver's File may implement: many
+// discontiguous extents move in few round trips (ROMIO's list I/O). The
+// MPI-IO layer type-asserts for it when a strided view is too sparse for
+// data sieving to pay off.
+//
+// Semantics mirror ReadAt/WriteAt applied per segment in slice order: the
+// returned count is the contiguous prefix (in segment order) actually
+// transferred, and a transfer that ends early reports io.EOF (reads) or
+// io.ErrShortWrite (writes) alongside that prefix. Segments should be
+// sorted by ascending offset and non-overlapping.
+type VectorIO interface {
+	ReadAtVec(segs []Vec) (int, error)
+	WriteAtVec(segs []Vec) (int, error)
 }
 
 // Driver is one filesystem implementation.

@@ -279,6 +279,7 @@ type srbFile struct {
 }
 
 var _ adio.File = (*srbFile)(nil)
+var _ adio.VectorIO = (*srbFile)(nil)
 var _ FaultReporter = (*srbFile)(nil)
 
 // Streams reports how many TCP streams back this handle.
@@ -582,6 +583,82 @@ func (f *srbFile) readStream(st *stream, ops []op, idxs []int, results []opResul
 	wg.Wait()
 }
 
+// doReadv runs one stream's batch of ranges as vectored opReadv frames,
+// retrying the whole vector under the driver's policy. A vectored read is
+// idempotent, so a replay after a mid-vector transport failure is safe;
+// io.EOF is a result, not a failure, and is returned with the prefix count.
+func (f *srbFile) doReadv(s *stream, segs []srb.ReadSeg) (int, error) {
+	pol := f.fs.cfg.Retry
+	var n int
+	var err error
+	for attempt := 0; ; attempt++ {
+		file, gen := s.handle()
+		if file == nil {
+			n, err = 0, errStreamDown
+		} else {
+			n, err = file.ReadAtVec(segs)
+		}
+		if err == nil || errors.Is(err, io.EOF) {
+			if attempt > 0 {
+				f.retriedOps.Add(1)
+				f.tracer.Count("srbfs.retried_ops", 1)
+			}
+			f.tracer.Count(s.readCtr, int64(n))
+			return n, err
+		}
+		if !pol.Enabled() || !srb.Retryable(err) {
+			return n, err
+		}
+		if attempt+1 >= pol.MaxAttempts {
+			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
+		}
+		time.Sleep(pol.Backoff(attempt))
+		if errors.Is(err, srb.ErrServerBusy) {
+			continue
+		}
+		if rerr := f.recoverStream(s, gen); rerr != nil {
+			if !srb.Retryable(rerr) {
+				return n, rerr
+			}
+		}
+	}
+}
+
+// readvStream gathers one stream's ranges in one vectored opReadv exchange.
+// The server fills ranges in order and stops at the first short one, so
+// results distribute greedily over the ops in vector order; a hard error
+// lands on the first op that came up short.
+func (f *srbFile) readvStream(st *stream, ops []op, idxs []int, results []opResult) {
+	segs := make([]srb.ReadSeg, len(idxs))
+	for k, i := range idxs {
+		segs[k] = srb.ReadSeg{Off: ops[i].off, Buf: ops[i].buf}
+	}
+	n, err := f.doReadv(st, segs)
+	var hardErr error
+	if err != nil && err != io.EOF {
+		hardErr = err
+	}
+	rem := n
+	attached := hardErr == nil
+	for _, i := range idxs {
+		want := len(ops[i].buf)
+		got := want
+		if rem < got {
+			got = rem
+		}
+		rem -= got
+		r := opResult{n: got}
+		if got < want && !attached {
+			r.err = hardErr
+			attached = true
+		}
+		results[i] = r
+	}
+	if !attached {
+		results[idxs[len(idxs)-1]].err = hardErr
+	}
+}
+
 type opResult struct {
 	n   int
 	err error
@@ -628,6 +705,82 @@ func (f *srbFile) ReadAt(p []byte, off int64) (int, error) {
 		}
 		if r.n < len(ops[i].buf) {
 			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// splitVecs cuts each vector segment on stripe boundaries, preserving
+// segment order. With one stream everything lands on stream 0 and the wire
+// codec re-merges contiguous pieces, so the split costs table entries only
+// when it buys stream parallelism.
+func (f *srbFile) splitVecs(vecs []adio.Vec) []op {
+	var ops []op
+	for _, v := range vecs {
+		if len(v.Buf) == 0 {
+			continue
+		}
+		ops = append(ops, f.splitStripes(v.Buf, v.Off)...)
+	}
+	return ops
+}
+
+// ReadAtVec implements adio.VectorIO: the whole scatter list moves in one
+// vectored opReadv exchange per stream instead of one round trip per
+// extent. Short reads report the contiguous prefix in segment order with
+// io.EOF, mirroring ReadAt.
+func (f *srbFile) ReadAtVec(vecs []adio.Vec) (int, error) {
+	ops := f.splitVecs(vecs)
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	results := make([]opResult, len(ops))
+	byStream := make([][]int, len(f.streams))
+	for i, o := range ops {
+		byStream[o.stream] = append(byStream[o.stream], i)
+	}
+	var wg sync.WaitGroup
+	for s, idxs := range byStream {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			f.readvStream(f.streams[s], ops, idxs, results)
+		}(s, idxs)
+	}
+	wg.Wait()
+	total := 0
+	for i, r := range results {
+		total += r.n
+		if r.err != nil && r.err != io.EOF {
+			return total, fmt.Errorf("core: vector read at %d: %w", ops[i].off, r.err)
+		}
+		if r.n < len(ops[i].buf) {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// WriteAtVec implements adio.VectorIO, reusing the striped write machinery:
+// each stream's pieces coalesce into vectored opWritev frames. The count on
+// error is the contiguous prefix in segment order, mirroring WriteAt.
+func (f *srbFile) WriteAtVec(vecs []adio.Vec) (int, error) {
+	ops := f.splitVecs(vecs)
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	results := f.runStriped(ops, true)
+	total := 0
+	for i, r := range results {
+		total += r.n
+		if r.err != nil {
+			return total, fmt.Errorf("core: vector write at %d: %w", ops[i].off, r.err)
+		}
+		if r.n < len(ops[i].buf) {
+			return total, io.ErrShortWrite
 		}
 	}
 	return total, nil

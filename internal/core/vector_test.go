@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"semplar/internal/adio"
+)
+
+// TestSRBFSVectorRoundTrip: scattered extents written and read back through
+// the VectorIO fast path survive stripe splitting across multiple streams.
+func TestSRBFSVectorRoundTrip(t *testing.T) {
+	for _, streams := range []int{1, 3} {
+		_, fs := newTestFS(t, streams) // 1 KiB stripes force splitting
+		f, err := fs.Open("/vec", adio.O_RDWR|adio.O_CREATE, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vf, ok := f.(adio.VectorIO)
+		if !ok {
+			t.Fatal("srbFile does not implement adio.VectorIO")
+		}
+
+		// Extents chosen to cross stripe boundaries (stripe = 1024).
+		mk := func(n int, b byte) []byte { return bytes.Repeat([]byte{b}, n) }
+		wvecs := []adio.Vec{
+			{Off: 0, Buf: mk(100, 'a')},
+			{Off: 1000, Buf: mk(200, 'b')},  // straddles first stripe boundary
+			{Off: 5000, Buf: mk(3000, 'c')}, // spans three stripes
+			{Off: 9000, Buf: mk(50, 'd')},
+		}
+		want := 100 + 200 + 3000 + 50
+		if n, err := vf.WriteAtVec(wvecs); err != nil || n != want {
+			t.Fatalf("streams=%d: WriteAtVec = %d, %v", streams, n, err)
+		}
+
+		rvecs := []adio.Vec{
+			{Off: 0, Buf: make([]byte, 100)},
+			{Off: 1000, Buf: make([]byte, 200)},
+			{Off: 5000, Buf: make([]byte, 3000)},
+			{Off: 9000, Buf: make([]byte, 50)},
+		}
+		if n, err := vf.ReadAtVec(rvecs); err != nil || n != want {
+			t.Fatalf("streams=%d: ReadAtVec = %d, %v", streams, n, err)
+		}
+		for i, v := range rvecs {
+			if !bytes.Equal(v.Buf, wvecs[i].Buf) {
+				t.Fatalf("streams=%d: extent %d corrupted", streams, i)
+			}
+		}
+		f.Close()
+	}
+}
+
+// TestSRBFSVectorEOFPrefix: a vectored read that runs past EOF returns the
+// contiguous prefix in segment order plus io.EOF — the same contract as
+// ReadAt, so the mpiio list-I/O path can rely on it.
+func TestSRBFSVectorEOFPrefix(t *testing.T) {
+	_, fs := newTestFS(t, 2)
+	f, err := fs.Open("/veof", adio.O_RDWR|adio.O_CREATE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	content := bytes.Repeat([]byte{7}, 2000)
+	if _, err := f.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	vf := f.(adio.VectorIO)
+
+	// Second segment comes up 500 short; third is never reached.
+	vecs := []adio.Vec{
+		{Off: 0, Buf: make([]byte, 300)},
+		{Off: 1500, Buf: make([]byte, 1000)},
+		{Off: 100, Buf: make([]byte, 10)},
+	}
+	n, err := vf.ReadAtVec(vecs)
+	if err != io.EOF || n != 300+500 {
+		t.Fatalf("ReadAtVec = %d, %v, want 800, io.EOF", n, err)
+	}
+	if !bytes.Equal(vecs[0].Buf, content[:300]) || !bytes.Equal(vecs[1].Buf[:500], content[1500:]) {
+		t.Fatal("prefix bytes corrupted")
+	}
+
+	// Wholly past EOF: zero bytes, io.EOF.
+	if n, err := vf.ReadAtVec([]adio.Vec{{Off: 100000, Buf: make([]byte, 10)}}); err != io.EOF || n != 0 {
+		t.Fatalf("past-EOF ReadAtVec = %d, %v", n, err)
+	}
+}

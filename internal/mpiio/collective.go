@@ -3,9 +3,11 @@ package mpiio
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sort"
 
 	"semplar/internal/mpi"
+	"semplar/internal/trace"
 )
 
 // Collective I/O (MPI_File_write_at_all / read_at_all) using the two-phase
@@ -15,6 +17,21 @@ import (
 // studying asynchronous primitives under collective I/O as future work;
 // here the data movement is implemented so the benchmarks can quantify the
 // aggregation benefit on the WAN testbeds.
+//
+// Collectives are view-aware: each rank maps its logical transfer through
+// its own handle's view into physical extents (viewExtents) before the
+// exchange, so N ranks with interleaved strided views produce one dense
+// physical region that the aggregators access with a handful of large
+// contiguous ops — the redistribution schedule is
+//
+//	phase 1: rank r sends aggregator a the clip of r's extents (writes:
+//	         offset+data frames; reads: offset ranges) to a's domain slice
+//	         of the global [lo, hi) physical span;
+//	phase 2: aggregator a coalesces what it received and performs the few
+//	         large driver ops for its domain;
+//	phase 3 (reads): aggregator a answers each rank with that rank's bytes,
+//	         concatenated in range order and cut at the first short range,
+//	         so every rank scatters its reply sequentially.
 
 // collTagBase separates collective-I/O messages from application traffic.
 // Each collective call gets a fresh tag block so consecutive collectives
@@ -32,9 +49,54 @@ type extent struct {
 	data []byte
 }
 
+// viewExtents maps the logical transfer (p, off) through v into ascending
+// physical extents. The data slices alias p — for reads they are the
+// scatter destinations.
+func viewExtents(v View, p []byte, off int64) []extent {
+	if len(p) == 0 {
+		return nil
+	}
+	if v.contiguous() || v.BlockLen == v.Stride {
+		return []extent{{off: v.Disp + off, data: p}}
+	}
+	exts := make([]extent, 0, int64(len(p))/v.BlockLen+2)
+	rest := p
+	logical := off
+	for len(rest) > 0 {
+		within := logical % v.BlockLen
+		take := v.BlockLen - within
+		if take > int64(len(rest)) {
+			take = int64(len(rest))
+		}
+		exts = append(exts, extent{off: v.physical(logical), data: rest[:take]})
+		rest = rest[take:]
+		logical += take
+	}
+	return exts
+}
+
+// extsBounds returns the local [lo, hi) physical span of exts, (0, 0) when
+// the rank contributes nothing.
+func extsBounds(exts []extent) (int64, int64) {
+	lo, hi := int64(1<<62), int64(-1)
+	for _, e := range exts {
+		if e.off < lo {
+			lo = e.off
+		}
+		if end := e.off + int64(len(e.data)); end > hi {
+			hi = end
+		}
+	}
+	if hi < 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
 // WriteAtAll is the collective write: every rank of comm must call it with
-// its own buffer and offset. Data is shuffled so that up to maxAggregators
-// ranks each write one coalesced contiguous region.
+// its own buffer and offset. Each rank's transfer is mapped through its
+// handle's view; the physical extents are shuffled so that up to
+// maxAggregators ranks each write a few coalesced contiguous regions.
 func (f *File) WriteAtAll(comm *mpi.Comm, p []byte, off int64) (int, error) {
 	if comm == nil || comm.Size() == 1 {
 		return f.WriteAt(p, off)
@@ -42,50 +104,15 @@ func (f *File) WriteAtAll(comm *mpi.Comm, p []byte, off int64) (int, error) {
 	if err := f.check(); err != nil {
 		return 0, err
 	}
-	lo, hi := collDomain(comm, off, int64(len(p)))
-	aggs := aggregators(comm.Size())
-	tag := f.nextCollTag() + 1
-
-	// Phase 1: ship each aggregator its slice of our buffer.
-	for a, aggRank := range aggs {
-		alo, ahi := domainSlice(lo, hi, len(aggs), a)
-		piece := overlap(off, p, alo, ahi)
-		msg := encodeExtent(piece)
-		comm.Send(aggRank, tag, msg)
-	}
-
-	// Phase 2: aggregators collect, coalesce and write.
-	var firstErr error
-	if idx := indexOf(aggs, comm.Rank()); idx >= 0 {
-		exts := make([]extent, 0, comm.Size())
-		for i := 0; i < comm.Size(); i++ {
-			data, _, _ := comm.Recv(mpi.Any, tag)
-			if e, ok := decodeExtent(data); ok {
-				exts = append(exts, e)
-			}
-		}
-		for _, e := range coalesce(exts) {
-			if _, err := f.inner.WriteAt(e.data, e.off); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("mpiio: collective write at %d: %w", e.off, err)
-			}
-		}
-	}
-
-	// Collective completion: agree on success.
-	ok := 1.0
-	if firstErr != nil {
-		ok = 0
-	}
-	if comm.AllreduceFloat64(ok, mpi.OpMin) == 0 {
-		if firstErr != nil {
-			return 0, firstErr
-		}
-		return 0, fmt.Errorf("mpiio: collective write failed on another rank")
+	if err := f.twoPhaseWrite(comm, viewExtents(f.CurrentView(), p, off)); err != nil {
+		return 0, err
 	}
 	return len(p), nil
 }
 
 // FileExtent is one contiguous piece of a rank's collective contribution.
+// Offsets are physical: views do not apply (a rank expressing view-mapped
+// data uses WriteAtAll).
 type FileExtent struct {
 	Off  int64
 	Data []byte
@@ -104,7 +131,9 @@ func (f *File) WriteExtentsAll(comm *mpi.Comm, exts []FileExtent) (int, error) {
 	}
 	if comm == nil || comm.Size() == 1 {
 		for _, e := range exts {
-			if _, err := f.WriteAt(e.Data, e.Off); err != nil {
+			n, err := f.inner.WriteAt(e.Data, e.Off)
+			f.counters.recordPhys(false, n)
+			if err != nil {
 				return 0, err
 			}
 		}
@@ -113,24 +142,27 @@ func (f *File) WriteExtentsAll(comm *mpi.Comm, exts []FileExtent) (int, error) {
 	if err := f.check(); err != nil {
 		return 0, err
 	}
-	// Global domain over all extents of all ranks.
-	lo, hi := int64(1<<62), int64(-1)
-	for _, e := range exts {
-		if e.Off < lo {
-			lo = e.Off
-		}
-		if end := e.Off + int64(len(e.Data)); end > hi {
-			hi = end
-		}
+	phys := make([]extent, len(exts))
+	for i, e := range exts {
+		phys[i] = extent{off: e.Off, data: e.Data}
 	}
-	if hi < 0 { // this rank contributes nothing
-		lo, hi = 0, 0
+	if err := f.twoPhaseWrite(comm, phys); err != nil {
+		return 0, err
 	}
+	return total, nil
+}
+
+// twoPhaseWrite runs the exchange-then-write schedule over one rank's
+// physical extents. All ranks of comm must call it with extents of the same
+// collective operation.
+func (f *File) twoPhaseWrite(comm *mpi.Comm, exts []extent) error {
+	lo, hi := extsBounds(exts)
 	lo = int64(comm.AllreduceFloat64(float64(lo), mpi.OpMin))
 	hi = int64(comm.AllreduceFloat64(float64(hi), mpi.OpMax))
 
 	aggs := aggregators(comm.Size())
 	tag := f.nextCollTag() + 1
+	sp := f.tracer.Begin("mpiio", "coll.exchange", f.lane)
 
 	// Phase 1: one message per aggregator carrying every overlapping
 	// extent, framed back to back.
@@ -138,7 +170,7 @@ func (f *File) WriteExtentsAll(comm *mpi.Comm, exts []FileExtent) (int, error) {
 		alo, ahi := domainSlice(lo, hi, len(aggs), a)
 		var msg []byte
 		for _, e := range exts {
-			piece := overlap(e.Off, e.Data, alo, ahi)
+			piece := overlap(e.off, e.data, alo, ahi)
 			if len(piece.data) == 0 {
 				continue
 			}
@@ -156,23 +188,27 @@ func (f *File) WriteExtentsAll(comm *mpi.Comm, exts []FileExtent) (int, error) {
 			all = append(all, decodeExtentFrames(data)...)
 		}
 		for _, e := range coalesce(all) {
-			if _, err := f.inner.WriteAt(e.data, e.off); err != nil && firstErr == nil {
+			n, err := f.inner.WriteAt(e.data, e.off)
+			f.counters.recordPhys(false, n)
+			if err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("mpiio: collective write at %d: %w", e.off, err)
 			}
 		}
 	}
+	sp.End(trace.Int("extents", int64(len(exts))))
 
+	// Collective completion: agree on success.
 	ok := 1.0
 	if firstErr != nil {
 		ok = 0
 	}
 	if comm.AllreduceFloat64(ok, mpi.OpMin) == 0 {
 		if firstErr != nil {
-			return 0, firstErr
+			return firstErr
 		}
-		return 0, fmt.Errorf("mpiio: collective write failed on another rank")
+		return fmt.Errorf("mpiio: collective write failed on another rank")
 	}
-	return total, nil
+	return nil
 }
 
 // appendExtentFrame appends [8B off][4B len][data] to msg.
@@ -200,8 +236,60 @@ func decodeExtentFrames(msg []byte) []extent {
 	return out
 }
 
-// ReadAtAll is the collective read: aggregators read coalesced regions and
-// redistribute the pieces.
+// rng is one half-open physical byte range [lo, hi) of a collective read
+// request.
+type rng struct {
+	lo, hi int64
+}
+
+// appendRangeFrame appends [8B lo][8B hi] to msg.
+func appendRangeFrame(msg []byte, r rng) []byte {
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(r.lo))
+	binary.BigEndian.PutUint64(hdr[8:], uint64(r.hi))
+	return append(msg, hdr[:]...)
+}
+
+// decodeRangeFrames parses a back-to-back range message, dropping empty and
+// malformed entries.
+func decodeRangeFrames(msg []byte) []rng {
+	out := make([]rng, 0, len(msg)/16)
+	for len(msg) >= 16 {
+		r := rng{
+			lo: int64(binary.BigEndian.Uint64(msg[0:])),
+			hi: int64(binary.BigEndian.Uint64(msg[8:])),
+		}
+		msg = msg[16:]
+		if r.hi > r.lo {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// coalesceRanges sorts ranges and merges overlapping/adjacent ones into the
+// fewest maximal runs. Every input range lies wholly inside exactly one
+// output run.
+func coalesceRanges(rs []rng) []rng {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].lo < rs[j].lo })
+	var out []rng
+	for _, r := range rs {
+		if k := len(out) - 1; k >= 0 && r.lo <= out[k].hi {
+			if r.hi > out[k].hi {
+				out[k].hi = r.hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ReadAtAll is the collective read: each rank's transfer is mapped through
+// its handle's view, aggregators read the coalesced union of all ranks'
+// physical ranges in a few large ops, and the pieces are redistributed over
+// the interconnect. A transfer ending past EOF returns the contiguous
+// logical prefix with io.EOF, like ReadAt.
 func (f *File) ReadAtAll(comm *mpi.Comm, p []byte, off int64) (int, error) {
 	if comm == nil || comm.Size() == 1 {
 		return f.ReadAt(p, off)
@@ -209,88 +297,137 @@ func (f *File) ReadAtAll(comm *mpi.Comm, p []byte, off int64) (int, error) {
 	if err := f.check(); err != nil {
 		return 0, err
 	}
-	lo, hi := collDomain(comm, off, int64(len(p)))
+	return f.twoPhaseRead(comm, viewExtents(f.CurrentView(), p, off))
+}
+
+// twoPhaseRead runs the read-then-redistribute schedule over one rank's
+// physical extents; the extent data slices are the scatter destinations.
+func (f *File) twoPhaseRead(comm *mpi.Comm, exts []extent) (int, error) {
+	lo, hi := extsBounds(exts)
+	lo = int64(comm.AllreduceFloat64(float64(lo), mpi.OpMin))
+	hi = int64(comm.AllreduceFloat64(float64(hi), mpi.OpMax))
+
 	aggs := aggregators(comm.Size())
 	base := f.nextCollTag()
 	reqTag := base + 2
 	dataTag := base + 3
+	sp := f.tracer.Begin("mpiio", "coll.exchange", f.lane)
 
-	// Phase 1: every rank tells every aggregator which sub-range of that
-	// aggregator's domain it needs (possibly empty).
+	// Phase 1: every rank tells every aggregator which ranges of that
+	// aggregator's domain it needs (possibly none).
 	for a, aggRank := range aggs {
 		alo, ahi := domainSlice(lo, hi, len(aggs), a)
-		rlo, rhi := intersect(off, off+int64(len(p)), alo, ahi)
-		var req [16]byte
-		binary.BigEndian.PutUint64(req[0:], uint64(rlo))
-		binary.BigEndian.PutUint64(req[8:], uint64(rhi))
-		comm.Send(aggRank, reqTag, req[:])
+		var msg []byte
+		for _, e := range exts {
+			rlo, rhi := intersect(e.off, e.off+int64(len(e.data)), alo, ahi)
+			if rhi > rlo {
+				msg = appendRangeFrame(msg, rng{lo: rlo, hi: rhi})
+			}
+		}
+		comm.Send(aggRank, reqTag, msg)
 	}
 
-	// Phase 2: aggregators read the union of requests in one pass and
-	// serve each rank its piece.
+	// Phase 2: aggregators read the coalesced union of all requested
+	// ranges in a few large ops and answer each rank with its bytes,
+	// concatenated in range order. A union run that comes up short (EOF)
+	// shortens the replies drawing on it; each reply is cut at its first
+	// short range so the requester's sequential scatter stays unambiguous.
 	var firstErr error
 	if indexOf(aggs, comm.Rank()) >= 0 {
 		type want struct {
-			src      int
-			rlo, rhi int64
+			src    int
+			ranges []rng
 		}
 		wants := make([]want, 0, comm.Size())
-		ulo, uhi := int64(-1), int64(-1)
+		var all []rng
 		for i := 0; i < comm.Size(); i++ {
 			data, src, _ := comm.Recv(mpi.Any, reqTag)
-			rlo := int64(binary.BigEndian.Uint64(data[0:]))
-			rhi := int64(binary.BigEndian.Uint64(data[8:]))
-			wants = append(wants, want{src, rlo, rhi})
-			if rhi > rlo {
-				if ulo < 0 || rlo < ulo {
-					ulo = rlo
-				}
-				if rhi > uhi {
-					uhi = rhi
-				}
-			}
+			rs := decodeRangeFrames(data)
+			wants = append(wants, want{src: src, ranges: rs})
+			all = append(all, rs...)
 		}
-		var region []byte
-		if uhi > ulo {
-			region = make([]byte, uhi-ulo)
-			if _, err := f.inner.ReadAt(region, ulo); err != nil && firstErr == nil {
-				// Short reads inside the region surface as the
-				// caller's own range check below.
-				firstErr = nil
+		union := coalesceRanges(all)
+		bufs := make([][]byte, len(union))
+		for i, u := range union {
+			b := make([]byte, u.hi-u.lo)
+			n, err := f.inner.ReadAt(b, u.lo)
+			f.counters.recordPhys(true, n)
+			if err != nil && err != io.EOF && firstErr == nil {
+				firstErr = fmt.Errorf("mpiio: collective read at %d: %w", u.lo, err)
 			}
+			bufs[i] = b[:n]
 		}
 		for _, w := range wants {
-			if w.rhi <= w.rlo {
-				comm.Send(w.src, dataTag, nil)
-				continue
+			var reply []byte
+			ui := 0
+			for _, r := range w.ranges {
+				for ui < len(union) && union[ui].hi < r.hi {
+					ui++ // ranges and union runs both ascend
+				}
+				if ui == len(union) {
+					break
+				}
+				at := r.lo - union[ui].lo
+				have := int64(len(bufs[ui])) - at
+				if have > r.hi-r.lo {
+					have = r.hi - r.lo
+				}
+				if have > 0 {
+					reply = append(reply, bufs[ui][at:at+have]...)
+				}
+				if have < r.hi-r.lo {
+					break // short range: later bytes would misalign the scatter
+				}
 			}
-			comm.Send(w.src, dataTag, region[w.rlo-ulo:w.rhi-ulo])
+			comm.Send(w.src, dataTag, reply)
 		}
 	}
 
-	// Phase 3: collect our pieces from each aggregator.
+	// Phase 3: collect our bytes from each aggregator and scatter them over
+	// our extents in range order. Domains ascend and extents ascend, so the
+	// pieces arrive in physical — and, the view map being monotonic,
+	// logical — order, and the contiguous logical prefix accumulates until
+	// the first short piece.
 	total := 0
+	eof := false
 	for a, aggRank := range aggs {
 		alo, ahi := domainSlice(lo, hi, len(aggs), a)
-		rlo, rhi := intersect(off, off+int64(len(p)), alo, ahi)
 		data, _, _ := comm.Recv(aggRank, dataTag)
-		if rhi > rlo {
-			copy(p[rlo-off:rhi-off], data)
-			total += len(data)
+		got := 0
+		for _, e := range exts {
+			rlo, rhi := intersect(e.off, e.off+int64(len(e.data)), alo, ahi)
+			if rhi <= rlo {
+				continue
+			}
+			dst := e.data[rlo-e.off : rhi-e.off]
+			n := copy(dst, data[got:])
+			got += n
+			if !eof {
+				total += n
+			}
+			if n < len(dst) {
+				eof = true
+			}
 		}
 	}
+	sp.End(trace.Int("extents", int64(len(exts))), trace.Int("n", int64(total)))
+
+	// Collective completion: agree that no aggregator hit a hard error
+	// (EOF is a result, not a failure).
+	ok := 1.0
 	if firstErr != nil {
-		return total, firstErr
+		ok = 0
+	}
+	if comm.AllreduceFloat64(ok, mpi.OpMin) == 0 {
+		if firstErr != nil {
+			return total, firstErr
+		}
+		return total, fmt.Errorf("mpiio: collective read failed on another rank")
+	}
+	if eof {
+		return total, io.EOF
 	}
 	return total, nil
-}
-
-// collDomain computes the global [min, max) byte range of a collective
-// access.
-func collDomain(comm *mpi.Comm, off, length int64) (lo, hi int64) {
-	lo = int64(comm.AllreduceFloat64(float64(off), mpi.OpMin))
-	hi = int64(comm.AllreduceFloat64(float64(off+length), mpi.OpMax))
-	return lo, hi
 }
 
 // aggregators picks which ranks perform file I/O: evenly spaced, at most
@@ -370,28 +507,6 @@ func coalesce(exts []extent) []extent {
 		out = append(out, extent{off: e.off, data: cp})
 	}
 	return out
-}
-
-// encodeExtent frames an extent as [8B off][data]; empty extents become a
-// zero-length message.
-func encodeExtent(e extent) []byte {
-	if len(e.data) == 0 {
-		return nil
-	}
-	out := make([]byte, 8+len(e.data))
-	binary.BigEndian.PutUint64(out, uint64(e.off))
-	copy(out[8:], e.data)
-	return out
-}
-
-func decodeExtent(msg []byte) (extent, bool) {
-	if len(msg) < 9 {
-		return extent{}, false
-	}
-	return extent{
-		off:  int64(binary.BigEndian.Uint64(msg)),
-		data: msg[8:],
-	}, true
 }
 
 func indexOf(xs []int, v int) int {

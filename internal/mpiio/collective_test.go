@@ -62,13 +62,27 @@ func TestCollectiveHelpers(t *testing.T) {
 		t.Fatalf("merged[1] = %d %q", merged[1].off, merged[1].data)
 	}
 
-	// extent encoding round trip.
-	e, ok := decodeExtent(encodeExtent(extent{off: 7, data: []byte("data!")}))
-	if !ok || e.off != 7 || string(e.data) != "data!" {
-		t.Fatalf("extent round trip = %+v, %v", e, ok)
+	// extent frame round trip.
+	msg := appendExtentFrame(nil, extent{off: 7, data: []byte("data!")})
+	got := decodeExtentFrames(msg)
+	if len(got) != 1 || got[0].off != 7 || string(got[0].data) != "data!" {
+		t.Fatalf("extent frame round trip = %+v", got)
 	}
-	if _, ok := decodeExtent(nil); ok {
-		t.Fatal("empty extent decoded")
+	if got := decodeExtentFrames(nil); len(got) != 0 {
+		t.Fatal("empty extent message decoded")
+	}
+
+	// range frame round trip; empty ranges are dropped on decode.
+	rmsg := appendRangeFrame(appendRangeFrame(nil, rng{lo: 5, hi: 9}), rng{lo: 4, hi: 4})
+	rs := decodeRangeFrames(rmsg)
+	if len(rs) != 1 || rs[0] != (rng{lo: 5, hi: 9}) {
+		t.Fatalf("range frames = %+v", rs)
+	}
+
+	// coalesceRanges merges overlapping and adjacent runs.
+	runs := coalesceRanges([]rng{{lo: 10, hi: 20}, {lo: 0, hi: 5}, {lo: 5, hi: 8}, {lo: 15, hi: 25}})
+	if len(runs) != 2 || runs[0] != (rng{lo: 0, hi: 8}) || runs[1] != (rng{lo: 10, hi: 25}) {
+		t.Fatalf("coalesceRanges = %+v", runs)
 	}
 }
 

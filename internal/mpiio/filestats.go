@@ -15,6 +15,14 @@ type FileStats struct {
 	AsyncWrites  int64
 	BytesRead    int64
 	BytesWritten int64
+	// PhysBytesRead/PhysBytesWritten count bytes actually moved through
+	// the driver, as opposed to the logical BytesRead/BytesWritten the
+	// application asked for. Data sieving reads whole windows (including
+	// the gaps between view frames) and rewrites them, so phys > logical
+	// there; the gap is the read/write amplification the sieve_buf_size
+	// hint trades against round trips.
+	PhysBytesRead    int64
+	PhysBytesWritten int64
 	// BlockingTime is time spent inside blocking calls (Read/Write
 	// variants and Waits issued through WaitFor).
 	BlockingTime time.Duration
@@ -22,21 +30,33 @@ type FileStats struct {
 
 // fileCounters is the internal atomic mirror of FileStats.
 type fileCounters struct {
-	reads, writes           atomic.Int64
-	asyncReads, asyncWrites atomic.Int64
-	bytesRead, bytesWritten atomic.Int64
-	blockingNanos           atomic.Int64
+	reads, writes                   atomic.Int64
+	asyncReads, asyncWrites         atomic.Int64
+	bytesRead, bytesWritten         atomic.Int64
+	physBytesRead, physBytesWritten atomic.Int64
+	blockingNanos                   atomic.Int64
 }
 
 func (c *fileCounters) snapshot() FileStats {
 	return FileStats{
-		Reads:        c.reads.Load(),
-		Writes:       c.writes.Load(),
-		AsyncReads:   c.asyncReads.Load(),
-		AsyncWrites:  c.asyncWrites.Load(),
-		BytesRead:    c.bytesRead.Load(),
-		BytesWritten: c.bytesWritten.Load(),
-		BlockingTime: time.Duration(c.blockingNanos.Load()),
+		Reads:            c.reads.Load(),
+		Writes:           c.writes.Load(),
+		AsyncReads:       c.asyncReads.Load(),
+		AsyncWrites:      c.asyncWrites.Load(),
+		BytesRead:        c.bytesRead.Load(),
+		BytesWritten:     c.bytesWritten.Load(),
+		PhysBytesRead:    c.physBytesRead.Load(),
+		PhysBytesWritten: c.physBytesWritten.Load(),
+		BlockingTime:     time.Duration(c.blockingNanos.Load()),
+	}
+}
+
+// recordPhys accounts bytes moved through the driver.
+func (c *fileCounters) recordPhys(read bool, n int) {
+	if read {
+		c.physBytesRead.Add(int64(n))
+	} else {
+		c.physBytesWritten.Add(int64(n))
 	}
 }
 

@@ -44,6 +44,12 @@ type File struct {
 	counters fileCounters
 	view     View // logical-to-physical mapping (MPI_File_set_view)
 
+	// sieve holds the parsed noncontiguous-access hints; immutable after
+	// Open. sieveMu is the per-handle window lock serializing sieved
+	// read-modify-write cycles (see sieve.go for the concurrency contract).
+	sieve   sieveConfig
+	sieveMu sync.Mutex
+
 	// collSeq numbers collective calls so each gets a private tag
 	// block; all ranks advance it identically by issuing collectives in
 	// the same order.
@@ -75,8 +81,10 @@ func (f *File) nextCollTag() int {
 // Open opens path through the registry. Inside an MPI job it is
 // collective: every rank must call it, and either all ranks succeed or all
 // observe failure. Hints: "io_threads" sets the async engine pool size
-// (default 1, the paper's single-I/O-thread configuration); driver hints
-// such as "streams" pass through.
+// (default 1, the paper's single-I/O-thread configuration); "sieve",
+// "sieve_buf_size", "listio" and "listio_density" tune noncontiguous
+// access (see sieve.go and adio.Hints); driver hints such as "streams"
+// pass through.
 func Open(comm *mpi.Comm, reg *adio.Registry, path string, flags int, hints adio.Hints) (*File, error) {
 	threads := 1
 	if v := hints.Get("io_threads", ""); v != "" {
@@ -85,6 +93,10 @@ func Open(comm *mpi.Comm, reg *adio.Registry, path string, flags int, hints adio
 			return nil, fmt.Errorf("mpiio: bad io_threads hint %q", v)
 		}
 		threads = n
+	}
+	scfg, err := parseSieveHints(hints)
+	if err != nil {
+		return nil, err
 	}
 	inner, err := reg.Open(path, flags, hints)
 
@@ -108,7 +120,7 @@ func Open(comm *mpi.Comm, reg *adio.Registry, path string, flags int, hints adio
 		return nil, fmt.Errorf("mpiio: open %s: %w", path, err)
 	}
 
-	return &File{comm: comm, inner: inner, eng: core.NewEngine(threads)}, nil
+	return &File{comm: comm, inner: inner, eng: core.NewEngine(threads), sieve: scfg}, nil
 }
 
 // OpenLocal opens a file outside an MPI job (comm == nil).

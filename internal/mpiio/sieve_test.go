@@ -1,0 +1,448 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"semplar/internal/adio"
+)
+
+// naiveHints disables every noncontiguous fast path, giving the semantic
+// reference the sieved and list-I/O paths must match byte for byte.
+var naiveHints = adio.Hints{"sieve": "off", "listio": "off"}
+
+// prepFile creates path with the given physical content through a plain
+// contiguous handle.
+func prepFile(t *testing.T, reg *adio.Registry, path string, content []byte) {
+	t.Helper()
+	f, err := OpenLocal(reg, path, adio.O_RDWR|adio.O_CREATE|adio.O_TRUNC, naiveHints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(content) == 0 {
+		return
+	}
+	if _, err := f.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// physContents reads the whole physical file through a plain handle.
+func physContents(t *testing.T, reg *adio.Registry, path string) []byte {
+	t.Helper()
+	f, err := OpenLocal(reg, path, adio.O_RDONLY, naiveHints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sz, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, sz)
+	if sz > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i*13)
+	}
+	return b
+}
+
+// TestSievedReadMatchesNaive: for a grid of views, file sizes, and transfer
+// shapes, a sieved strided read returns exactly what the naive per-piece
+// loop returns — same count, same error, same bytes — including windows
+// that straddle EOF and the BlockLen == Stride degenerate.
+func TestSievedReadMatchesNaive(t *testing.T) {
+	cases := []struct {
+		name     string
+		view     View
+		fileSize int
+		off      int64
+		readLen  int
+		bufSize  string // sieve_buf_size hint; "" for default
+	}{
+		{"aligned multi-window", View{BlockLen: 16, Stride: 64}, 8192, 0, 1000, "256"},
+		{"mid-block start", View{BlockLen: 16, Stride: 64}, 8192, 7, 500, "256"},
+		{"disp offset", View{Disp: 100, BlockLen: 32, Stride: 100}, 8192, 3, 700, "512"},
+		{"eof straddles window", View{BlockLen: 16, Stride: 64}, 300, 0, 1000, "256"},
+		{"eof mid-piece", View{BlockLen: 16, Stride: 64}, 330, 0, 1000, "256"},
+		{"exact fill to eof", View{BlockLen: 16, Stride: 64}, 64*9 + 16, 0, 160, "256"},
+		{"wholly past eof", View{BlockLen: 16, Stride: 64}, 100, 512, 256, "256"},
+		{"blocklen equals stride", View{BlockLen: 32, Stride: 32}, 4096, 5, 1000, "256"},
+		{"window bigger than transfer", View{BlockLen: 16, Stride: 64}, 8192, 0, 40, "4096"},
+		{"buffer too small to sieve", View{BlockLen: 128, Stride: 256}, 8192, 0, 1000, "64"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := memRegistry()
+			prepFile(t, reg, "mem:/f", pattern(c.fileSize, 3))
+
+			hints := adio.Hints{"listio": "off"}
+			if c.bufSize != "" {
+				hints["sieve_buf_size"] = c.bufSize
+			}
+			sieved, err := OpenLocal(reg, "mem:/f", adio.O_RDONLY, hints)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sieved.Close()
+			naive, err := OpenLocal(reg, "mem:/f", adio.O_RDONLY, naiveHints)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer naive.Close()
+			if err := sieved.SetView(c.view); err != nil {
+				t.Fatal(err)
+			}
+			if err := naive.SetView(c.view); err != nil {
+				t.Fatal(err)
+			}
+
+			got := make([]byte, c.readLen)
+			want := make([]byte, c.readLen)
+			gn, gerr := sieved.ReadAt(got, c.off)
+			wn, werr := naive.ReadAt(want, c.off)
+			if gn != wn || !errors.Is(gerr, werr) && gerr != werr {
+				t.Fatalf("sieved = (%d, %v), naive = (%d, %v)", gn, gerr, wn, werr)
+			}
+			if !bytes.Equal(got[:gn], want[:wn]) {
+				t.Fatal("sieved bytes differ from naive bytes")
+			}
+		})
+	}
+}
+
+// TestSievedWriteMatchesNaive: a sieved strided write leaves the physical
+// file — gap bytes, zero-fill beyond old EOF, final size — identical to the
+// naive per-piece loop writing the same data through the same view.
+func TestSievedWriteMatchesNaive(t *testing.T) {
+	cases := []struct {
+		name     string
+		view     View
+		fileSize int // prefill; 0 writes into an empty file
+		off      int64
+		writeLen int
+		bufSize  string
+	}{
+		{"rmw over prefilled gaps", View{BlockLen: 16, Stride: 64}, 8192, 0, 1000, "256"},
+		{"mid-block start", View{BlockLen: 16, Stride: 64}, 8192, 9, 777, "256"},
+		{"grow empty file", View{BlockLen: 16, Stride: 64}, 0, 0, 640, "256"},
+		{"grow past eof mid-window", View{BlockLen: 16, Stride: 64}, 200, 0, 1000, "256"},
+		{"disp offset", View{Disp: 55, BlockLen: 32, Stride: 96}, 4096, 2, 900, "512"},
+		{"blocklen equals stride", View{BlockLen: 32, Stride: 32}, 2048, 7, 500, "256"},
+		{"partial final frame", View{BlockLen: 16, Stride: 64}, 0, 0, 100, "256"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := memRegistry()
+			prefill := pattern(c.fileSize, 7)
+			prepFile(t, reg, "mem:/sv", prefill)
+			prepFile(t, reg, "mem:/nv", prefill)
+
+			hints := adio.Hints{"listio": "off", "sieve_buf_size": c.bufSize}
+			sieved, err := OpenLocal(reg, "mem:/sv", adio.O_RDWR, hints)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sieved.Close()
+			naive, err := OpenLocal(reg, "mem:/nv", adio.O_RDWR, naiveHints)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer naive.Close()
+			if err := sieved.SetView(c.view); err != nil {
+				t.Fatal(err)
+			}
+			if err := naive.SetView(c.view); err != nil {
+				t.Fatal(err)
+			}
+
+			data := pattern(c.writeLen, 101)
+			gn, gerr := sieved.WriteAt(data, c.off)
+			wn, werr := naive.WriteAt(data, c.off)
+			if gn != wn || gerr != werr {
+				t.Fatalf("sieved = (%d, %v), naive = (%d, %v)", gn, gerr, wn, werr)
+			}
+			sb := physContents(t, reg, "mem:/sv")
+			nb := physContents(t, reg, "mem:/nv")
+			if !bytes.Equal(sb, nb) {
+				t.Fatalf("physical files differ: sieved %d bytes, naive %d bytes", len(sb), len(nb))
+			}
+		})
+	}
+}
+
+// faultCtl injects a hard error on the Nth driver ReadAt/WriteAt (1-based;
+// 0 disables injection). Shared by every handle the fault driver opens.
+type faultCtl struct {
+	failRead, failWrite int
+	reads, writes       int
+	err                 error
+}
+
+type faultFile struct {
+	adio.File
+	ctl *faultCtl
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.ctl.reads++
+	if f.ctl.failRead > 0 && f.ctl.reads >= f.ctl.failRead {
+		return 0, f.ctl.err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.ctl.writes++
+	if f.ctl.failWrite > 0 && f.ctl.writes >= f.ctl.failWrite {
+		return 0, f.ctl.err
+	}
+	return f.File.WriteAt(p, off)
+}
+
+type faultDriver struct {
+	mem adio.Driver
+	ctl *faultCtl
+}
+
+func (d *faultDriver) Name() string { return "fault" }
+func (d *faultDriver) Open(path string, flags int, hints adio.Hints) (adio.File, error) {
+	f, err := d.mem.Open(path, flags, hints)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, ctl: d.ctl}, nil
+}
+func (d *faultDriver) Delete(path string) error { return d.mem.Delete(path) }
+
+// TestSievePoolBalanceUnderErrors: every sieve window buffer is returned to
+// the pool, on the success path and on every injected-failure path — a
+// leaked window under WAN-latency RMW cycles would bleed the pool dry.
+func TestSievePoolBalanceUnderErrors(t *testing.T) {
+	boom := errors.New("injected device error")
+	run := func(failRead, failWrite int, op func(f *File) error) {
+		t.Helper()
+		ctl := &faultCtl{failRead: failRead, failWrite: failWrite, err: boom}
+		reg := &adio.Registry{}
+		reg.Register(&faultDriver{mem: adio.NewMemFS(), ctl: ctl})
+		f, err := OpenLocal(reg, "fault:/f", adio.O_RDWR|adio.O_CREATE,
+			adio.Hints{"listio": "off", "sieve_buf_size": "256"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.SetView(View{BlockLen: 16, Stride: 64}); err != nil {
+			t.Fatal(err)
+		}
+		if err := op(f); err != nil && !errors.Is(err, boom) && err != io.EOF {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+
+	data := pattern(1000, 42)
+	ops := []struct {
+		name                string
+		failRead, failWrite int
+		op                  func(f *File) error
+	}{
+		{"read ok", 0, 0, func(f *File) error { _, err := f.ReadAt(make([]byte, 500), 0); return err }},
+		{"read fails first window", 1, 0, func(f *File) error { _, err := f.ReadAt(make([]byte, 500), 0); return err }},
+		{"read fails second window", 2, 0, func(f *File) error { _, err := f.ReadAt(make([]byte, 500), 0); return err }},
+		{"write ok", 0, 0, func(f *File) error { _, err := f.WriteAt(data, 0); return err }},
+		{"write rmw read fails", 1, 0, func(f *File) error { _, err := f.WriteAt(data, 0); return err }},
+		{"write back fails", 0, 1, func(f *File) error { _, err := f.WriteAt(data, 0); return err }},
+		{"write back fails later window", 0, 2, func(f *File) error { _, err := f.WriteAt(data, 0); return err }},
+	}
+	for _, o := range ops {
+		t.Run(o.name, func(t *testing.T) {
+			gets0, puts0 := sieveBufGets.Load(), sieveBufPuts.Load()
+			// Seed the file so reads have something to sieve, then run the op.
+			run(0, 0, func(f *File) error { _, err := f.WriteAt(data, 0); return err })
+			run(o.failRead, o.failWrite, o.op)
+			gets, puts := sieveBufGets.Load()-gets0, sieveBufPuts.Load()-puts0
+			if gets != puts {
+				t.Fatalf("sieve pool imbalance: %d gets, %d puts", gets, puts)
+			}
+			if gets == 0 {
+				t.Fatal("op never took the sieved path")
+			}
+		})
+	}
+}
+
+// TestListIOSparseView: a view sparse enough to clear the density threshold
+// routes through the driver's VectorIO fast path with no read/write
+// amplification, and matches the naive reference byte for byte.
+func TestListIOSparseView(t *testing.T) {
+	reg := memRegistry()
+	prepFile(t, reg, "mem:/lv", pattern(16384, 9))
+	prepFile(t, reg, "mem:/nv", pattern(16384, 9))
+
+	// density 4/64 = 0.0625 < default threshold 0.25 → list I/O.
+	sparse := View{BlockLen: 4, Stride: 64}
+	lio, err := OpenLocal(reg, "mem:/lv", adio.O_RDWR, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lio.Close()
+	naive, err := OpenLocal(reg, "mem:/nv", adio.O_RDWR, naiveHints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer naive.Close()
+	lio.SetView(sparse)
+	naive.SetView(sparse)
+
+	got := make([]byte, 600)
+	want := make([]byte, 600)
+	gn, gerr := lio.ReadAt(got, 3)
+	wn, werr := naive.ReadAt(want, 3)
+	if gn != wn || gerr != werr || !bytes.Equal(got, want) {
+		t.Fatalf("list-I/O read = (%d, %v), naive = (%d, %v)", gn, gerr, wn, werr)
+	}
+	st := lio.Stats()
+	if st.PhysBytesRead != st.BytesRead {
+		t.Fatalf("list I/O amplified: phys %d, logical %d", st.PhysBytesRead, st.BytesRead)
+	}
+
+	data := pattern(600, 200)
+	if _, err := lio.WriteAt(data, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := naive.WriteAt(data, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(physContents(t, reg, "mem:/lv"), physContents(t, reg, "mem:/nv")) {
+		t.Fatal("list-I/O write left different physical bytes than naive")
+	}
+	if st := lio.Stats(); st.PhysBytesWritten != st.BytesWritten {
+		t.Fatalf("list I/O write amplified: phys %d, logical %d", st.PhysBytesWritten, st.BytesWritten)
+	}
+}
+
+// TestSieveAmplificationStats: sieved access moves window bytes through the
+// driver while the application sees logical bytes — FileStats must expose
+// both so the amplification is observable.
+func TestSieveAmplificationStats(t *testing.T) {
+	reg := memRegistry()
+	prepFile(t, reg, "mem:/f", pattern(8192, 5))
+	f, err := OpenLocal(reg, "mem:/f", adio.O_RDWR, adio.Hints{"listio": "off", "sieve_buf_size": "1024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.SetView(View{BlockLen: 16, Stride: 64})
+
+	if _, err := f.ReadAt(make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.BytesRead != 512 {
+		t.Fatalf("logical BytesRead = %d, want 512", st.BytesRead)
+	}
+	// 512 logical bytes at density 1/4 touch ~2048 physical bytes.
+	if st.PhysBytesRead < 3*st.BytesRead {
+		t.Fatalf("PhysBytesRead = %d, expected ~4x logical %d", st.PhysBytesRead, st.BytesRead)
+	}
+	if _, err := f.WriteAt(make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	st = f.Stats()
+	if st.PhysBytesWritten < 3*st.BytesWritten {
+		t.Fatalf("PhysBytesWritten = %d, expected ~4x logical %d", st.PhysBytesWritten, st.BytesWritten)
+	}
+}
+
+// TestRollbackFPShortSievedRead: a sieved Read() that comes up short at EOF
+// rolls the file pointer back to the bytes actually delivered, exactly as
+// the contiguous path does.
+func TestRollbackFPShortSievedRead(t *testing.T) {
+	reg := memRegistry()
+	prepFile(t, reg, "mem:/f", pattern(300, 1))
+	f, err := OpenLocal(reg, "mem:/f", adio.O_RDONLY, adio.Hints{"listio": "off", "sieve_buf_size": "256"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.SetView(View{BlockLen: 16, Stride: 64})
+
+	naive, err := OpenLocal(reg, "mem:/f", adio.O_RDONLY, naiveHints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer naive.Close()
+	naive.SetView(View{BlockLen: 16, Stride: 64})
+	wantN, wantErr := naive.Read(make([]byte, 1000))
+
+	n, rerr := f.Read(make([]byte, 1000))
+	if n != wantN || rerr != wantErr {
+		t.Fatalf("sieved Read = (%d, %v), naive = (%d, %v)", n, rerr, wantN, wantErr)
+	}
+	if rerr != io.EOF {
+		t.Fatalf("expected short read at EOF, got %v", rerr)
+	}
+	if f.Tell() != int64(n) {
+		t.Fatalf("fp = %d after short sieved read of %d", f.Tell(), n)
+	}
+}
+
+// TestSieveHintValidation: malformed noncontiguous-access hints fail Open.
+func TestSieveHintValidation(t *testing.T) {
+	bad := []adio.Hints{
+		{"sieve": "maybe"},
+		{"sieve_buf_size": "0"},
+		{"sieve_buf_size": "-5"},
+		{"sieve_buf_size": "many"},
+		{"listio": "1"},
+		{"listio_density": "2"},
+		{"listio_density": "-0.1"},
+		{"listio_density": "dense"},
+	}
+	for i, h := range bad {
+		reg := memRegistry()
+		if _, err := OpenLocal(reg, "mem:/f", adio.O_RDWR|adio.O_CREATE, h); err == nil {
+			t.Errorf("case %d: hints %v accepted", i, h)
+		}
+	}
+}
+
+// TestNextWindowMath pins the window-sizing arithmetic: frame capacity,
+// clamping to the transfer tail, and the no-overshoot guarantee for the
+// physical extent.
+func TestNextWindowMath(t *testing.T) {
+	v := View{BlockLen: 16, Stride: 64}
+	// bufSize 256: headroom 240, k = 240/64+1 = 4 frames, 64 logical bytes.
+	w, ok := nextWindow(v, 0, 1<<20, 256)
+	if !ok || w.take != 64 {
+		t.Fatalf("window = %+v ok=%v, want take 64", w, ok)
+	}
+	if w.physLen != 3*64+16 {
+		t.Fatalf("physLen = %d, want %d (no overshoot past final piece)", w.physLen, 3*64+16)
+	}
+	// Transfer smaller than capacity: take clamps, phys ends at last byte+1.
+	w, ok = nextWindow(v, 0, 20, 256)
+	if !ok || w.take != 20 || w.physLen != 64+4 {
+		t.Fatalf("clamped window = %+v ok=%v, want take 20 physLen 68", w, ok)
+	}
+	// Buffer fits one frame only: not worth sieving.
+	if _, ok := nextWindow(v, 0, 1000, 70); ok {
+		t.Fatal("one-frame buffer should refuse to sieve")
+	}
+	// Mid-block start shifts the physical base.
+	w, ok = nextWindow(v, 5, 1000, 256)
+	if !ok || w.physStart != 5 {
+		t.Fatalf("mid-block window = %+v ok=%v, want physStart 5", w, ok)
+	}
+}

@@ -3,6 +3,8 @@ package mpiio
 import (
 	"fmt"
 	"io"
+
+	"semplar/internal/adio"
 )
 
 // View is a simplified MPI_File_set_view: a byte displacement plus a
@@ -51,7 +53,8 @@ func (v View) physical(logical int64) int64 {
 
 // SetView installs a view on the handle and resets the individual file
 // pointer, as MPI_File_set_view does. Collective accesses (WriteAtAll /
-// ReadAtAll) operate on physical offsets and ignore views.
+// ReadAtAll) honor the view: each rank's transfer is mapped through its own
+// handle's view into physical extents before the two-phase exchange.
 func (f *File) SetView(v View) error {
 	if err := v.validate(); err != nil {
 		return err
@@ -83,17 +86,53 @@ func (f *File) writePhys(p []byte, off int64) (int, error) {
 	return f.viewIO(p, off, true)
 }
 
+// viewIO routes a logical transfer through the handle's view, picking the
+// cheapest correct strategy:
+//
+//   - contiguous views (including the BlockLen == Stride degenerate, whose
+//     frames tile with no gaps) become one driver op at Disp+off;
+//   - sparse strided views go to list I/O when the driver supports
+//     adio.VectorIO and density = BlockLen/Stride is below the
+//     listio_density hint;
+//   - other strided views spanning at least two frames are data-sieved;
+//   - everything else (single-frame accesses, sieving disabled, windows too
+//     big for the sieve buffer) falls back to the naive per-piece loop.
 func (f *File) viewIO(p []byte, off int64, write bool) (int, error) {
 	f.mu.Lock()
 	v := f.view
 	f.mu.Unlock()
-	if v.contiguous() {
+	if v.contiguous() || v.BlockLen == v.Stride {
+		var n int
+		var err error
 		if write {
-			return f.inner.WriteAt(p, v.Disp+off)
+			n, err = f.inner.WriteAt(p, v.Disp+off)
+		} else {
+			n, err = f.inner.ReadAt(p, v.Disp+off)
 		}
-		return f.inner.ReadAt(p, v.Disp+off)
+		f.counters.recordPhys(!write, n)
+		return n, err
 	}
-	// Strided: split the logical range on frame boundaries.
+	if len(p) > 0 {
+		spansFrames := (off+int64(len(p))-1)/v.BlockLen > off/v.BlockLen
+		if spansFrames && f.sieve.listio && float64(v.BlockLen)/float64(v.Stride) < f.sieve.density {
+			if vio, ok := f.inner.(adio.VectorIO); ok {
+				return f.listIO(vio, v, p, off, write)
+			}
+		}
+		if spansFrames && f.sieve.sieve {
+			if write {
+				return f.sievedWrite(v, p, off)
+			}
+			return f.sievedRead(v, p, off)
+		}
+	}
+	return f.naiveViewIO(v, p, off, write)
+}
+
+// naiveViewIO splits the logical range on frame boundaries and pays one
+// driver op per contiguous piece — the pre-sieving behavior, kept as the
+// fallback and as the semantic reference the fast paths must match.
+func (f *File) naiveViewIO(v View, p []byte, off int64, write bool) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		logical := off + int64(total)
@@ -110,6 +149,7 @@ func (f *File) viewIO(p []byte, off int64, write bool) (int, error) {
 		} else {
 			n, err = f.inner.ReadAt(p[:take], phys)
 		}
+		f.counters.recordPhys(!write, n)
 		total += n
 		p = p[take:]
 		if err != nil {

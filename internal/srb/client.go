@@ -573,6 +573,95 @@ func (f *File) WriteAtVec(segs []WriteSeg) (int, error) {
 	return total, err
 }
 
+// ReadSeg is one range of a vectored read: len(Buf) bytes wanted from
+// absolute offset Off. Ranges should be sorted by ascending offset and
+// non-overlapping; adjacent contiguous ranges are merged on the wire.
+type ReadSeg struct {
+	Off int64
+	Buf []byte
+}
+
+// ReadAtVec reads all ranges using vectored opReadv frames: many
+// discontiguous extents per round trip instead of one RPC per extent — the
+// list-I/O half of the noncontiguous fast path. Ranges are packed greedily
+// into frames bounded by MaxChunk of reply payload. The server fills ranges
+// front to back and stops at the first short one, so the reply scatters
+// sequentially; a short reply surfaces io.EOF with the contiguous prefix
+// count, like ReadAt.
+func (f *File) ReadAtVec(segs []ReadSeg) (int, error) {
+	total := 0
+	frame := make([]readSeg, 0, len(segs))
+	dsts := make([][]byte, 0, len(segs))
+	frameBytes := 0
+	flush := func() (int, error) {
+		if len(frame) == 0 {
+			return 0, nil
+		}
+		payload := encodeReadv(frame)
+		want := frameBytes
+		out := dsts
+		frame = frame[:0]
+		dsts = dsts[:0]
+		frameBytes = 0
+		resp, err := f.conn.call(&request{op: opReadv, handle: f.handle, data: payload})
+		putBuf(payload) // frame is on the wire (or dead); recycle
+		if err != nil {
+			return 0, err
+		}
+		got := 0
+		for _, d := range out {
+			if got == len(resp.data) {
+				break
+			}
+			got += copy(d, resp.data[got:])
+		}
+		putBuf(resp.data) // payload scattered out, recycle the buffer
+		if got < want {
+			return got, io.EOF
+		}
+		return got, nil
+	}
+	for _, s := range segs {
+		if len(s.Buf) == 0 {
+			continue
+		}
+		if s.Off < 0 {
+			return total, fmt.Errorf("%w: negative read offset", ErrInvalid)
+		}
+		rest := s.Buf
+		off := s.Off
+		for len(rest) > 0 {
+			// Room left in the current frame, bounded by both the reply
+			// payload (frameBytes of data) and the request frame (the range
+			// table), worst-case assuming this range needs its own entry.
+			room := MaxChunk - frameBytes
+			if tr := (MaxChunk - readvHdrSize - (len(frame)+1)*readvSegSize); tr < room {
+				room = tr
+			}
+			if room <= 0 {
+				n, err := flush()
+				total += n
+				if err != nil {
+					return total, err
+				}
+				continue
+			}
+			chunk := rest
+			if len(chunk) > room {
+				chunk = chunk[:room]
+			}
+			frame = append(frame, readSeg{off: off, n: len(chunk)})
+			dsts = append(dsts, chunk)
+			frameBytes += len(chunk)
+			off += int64(len(chunk))
+			rest = rest[len(chunk):]
+		}
+	}
+	n, err := flush()
+	total += n
+	return total, err
+}
+
 // Read reads from the server-side file pointer.
 func (f *File) Read(p []byte) (int, error) {
 	f.posMu.Lock()

@@ -65,6 +65,7 @@ const (
 	opReplicate
 	opChecksum
 	opWritev
+	opReadv
 )
 
 // opName renders an opcode for traces and diagnostics.
@@ -114,6 +115,8 @@ func opName(op uint8) string {
 		return "checksum"
 	case opWritev:
 		return "writev"
+	case opReadv:
+		return "readv"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -579,6 +582,90 @@ func decodeWritev(b []byte) ([]writeSeg, error) {
 		segLen := int(binary.BigEndian.Uint32(b[writevHdrSize+i*writevSegSize+8:]))
 		segs[i].data = b[p : p+segLen]
 		p += segLen
+	}
+	return segs, nil
+}
+
+// Vectored-read framing (list I/O). An opReadv request carries a vector of
+// (offset, length) ranges for one handle:
+//
+//	count uint32
+//	count × { off int64, rangeLen uint32 }
+//
+// The response concatenates the bytes of each range in request order. The
+// server fills ranges front to back and stops at the first range that comes
+// up short (EOF), so the client can scatter the reply unambiguously: every
+// range before the short one is full, everything after it is absent. Callers
+// budget frames so the total requested bytes stay within MaxChunk (the
+// response must fit one chunk).
+const (
+	readvHdrSize = 4  // count
+	readvSegSize = 12 // off i64 + rangeLen u32
+)
+
+// readSeg is one range of a vectored read.
+type readSeg struct {
+	off int64
+	n   int
+}
+
+// encodeReadv packs ranges into an opReadv request payload, coalescing table
+// entries for ranges that are contiguous on disk — the reply bytes
+// concatenate either way, so adjacent stripes collapse into one run for
+// free. The buffer is pooled; the caller releases it with putBuf once the
+// frame is on the wire.
+func encodeReadv(segs []readSeg) []byte {
+	runs := make([]readSeg, 0, len(segs))
+	for _, s := range segs {
+		if k := len(runs) - 1; k >= 0 && runs[k].off+int64(runs[k].n) == s.off {
+			runs[k].n += s.n
+			continue
+		}
+		runs = append(runs, s)
+	}
+	buf := getBuf(readvHdrSize + len(runs)*readvSegSize)
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(runs)))
+	p := readvHdrSize
+	for _, r := range runs {
+		binary.BigEndian.PutUint64(buf[p:], uint64(r.off))
+		binary.BigEndian.PutUint32(buf[p+8:], uint32(r.n))
+		p += readvSegSize
+	}
+	return buf
+}
+
+// decodeReadv unpacks an opReadv payload. The frame already passed the wire
+// parser's bounds, so malformed vector framing here is an argument error
+// (ErrInvalid status reply) rather than connection damage.
+func decodeReadv(b []byte) ([]readSeg, error) {
+	if len(b) < readvHdrSize {
+		return nil, fmt.Errorf("%w: readv frame too short", ErrInvalid)
+	}
+	count := binary.BigEndian.Uint32(b)
+	if count == 0 {
+		return nil, fmt.Errorf("%w: empty readv vector", ErrInvalid)
+	}
+	if len(b)-readvHdrSize != int(count)*readvSegSize {
+		return nil, fmt.Errorf("%w: readv range table length mismatch", ErrInvalid)
+	}
+	segs := make([]readSeg, count)
+	p := readvHdrSize
+	var total int64
+	for i := range segs {
+		segs[i].off = int64(binary.BigEndian.Uint64(b[p:]))
+		rangeLen := binary.BigEndian.Uint32(b[p+8:])
+		if segs[i].off < 0 {
+			return nil, fmt.Errorf("%w: negative readv offset", ErrInvalid)
+		}
+		if rangeLen == 0 {
+			return nil, fmt.Errorf("%w: empty readv range", ErrInvalid)
+		}
+		segs[i].n = int(rangeLen)
+		total += int64(rangeLen)
+		p += readvSegSize
+	}
+	if total > MaxChunk {
+		return nil, fmt.Errorf("%w: readv reply would exceed MaxChunk", ErrInvalid)
 	}
 	return segs, nil
 }

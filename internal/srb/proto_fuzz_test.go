@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -252,6 +253,80 @@ func FuzzDecodeWritev(f *testing.F) {
 		// readRequest; here only internal consistency can be checked.
 		if total > len(data) {
 			t.Fatalf("segments claim %d bytes from a %d-byte frame", total, len(data))
+		}
+	})
+}
+
+// FuzzReadvRoundTrip drives the vectored-read codec with arbitrary range
+// layouts. encodeReadv merges contiguous runs, so equality is checked on
+// the flattened offset coverage (as a multiset), not the range list.
+func FuzzReadvRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 4, 4, 4, 100, 2})
+	f.Add([]byte{10, 1})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, layout []byte) {
+		// Interpret the fuzz input as (offset, length) byte pairs.
+		var segs []readSeg
+		for i := 0; i+1 < len(layout) && len(segs) < 64; i += 2 {
+			segs = append(segs, readSeg{off: int64(layout[i]), n: int(layout[i+1]) + 1})
+		}
+		if len(segs) == 0 {
+			return
+		}
+		payload := encodeReadv(segs)
+		defer putBuf(payload)
+		got, err := decodeReadv(payload)
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v", err)
+		}
+		flatten := func(segs []readSeg) []int64 {
+			var offs []int64
+			for _, s := range segs {
+				for j := int64(0); j < int64(s.n); j++ {
+					offs = append(offs, s.off+j)
+				}
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			return offs
+		}
+		want, have := flatten(segs), flatten(got)
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("flattened coverage changed: %d offsets in, %d out", len(want), len(have))
+		}
+	})
+}
+
+// FuzzDecodeReadv feeds raw bytes to the vector parser: it must never
+// panic, every rejection must classify as ErrInvalid, and every accepted
+// vector must satisfy the protocol bounds.
+func FuzzDecodeReadv(f *testing.F) {
+	good := encodeReadv([]readSeg{{off: 0, n: 3}, {off: 9, n: 1}})
+	f.Add(bytes.Clone(good))
+	putBuf(good)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		segs, err := decodeReadv(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("decode error %v is not ErrInvalid", err)
+			}
+			return
+		}
+		total := 0
+		for _, s := range segs {
+			if s.off < 0 {
+				t.Fatalf("accepted negative offset %d", s.off)
+			}
+			if s.n < 1 {
+				t.Fatalf("accepted empty range")
+			}
+			total += s.n
+		}
+		if total > MaxChunk {
+			t.Fatalf("accepted a vector requesting %d bytes, MaxChunk is %d", total, MaxChunk)
 		}
 	})
 }

@@ -533,6 +533,8 @@ func (ss *session) dispatch(req *request) *response {
 		return ss.write(req)
 	case opWritev:
 		return ss.writev(req)
+	case opReadv:
+		return ss.readv(req)
 	case opSeek:
 		return ss.seek(req)
 	case opStat:
@@ -809,6 +811,44 @@ func (ss *session) writev(req *request) *response {
 	}
 	atomic.AddInt64(&ss.srv.stats.BytesWritten, total)
 	return &response{value: total}
+}
+
+// readv serves a vectored read: several absolute-offset ranges gathered into
+// one reply. Ranges are filled front to back; the first range that comes up
+// short (EOF) ends the reply, so the client's sequential scatter is
+// unambiguous. Malformed vector framing is an ErrInvalid status reply — the
+// wire frame itself parsed fine, so the connection survives.
+func (ss *session) readv(req *request) *response {
+	f, er := ss.lookupHandle(req.handle)
+	if er != nil {
+		return er
+	}
+	if f.flags&O_ACCESS == O_WRONLY {
+		return errResp(fmt.Errorf("%w: file not open for reading", ErrInvalid))
+	}
+	segs, err := decodeReadv(req.data)
+	if err != nil {
+		return errResp(err)
+	}
+	var want int
+	for _, sg := range segs {
+		want += sg.n
+	}
+	buf := getBuf(want)
+	total := 0
+	for _, sg := range segs {
+		rn, rerr := f.obj.ReadAt(buf[total:total+sg.n], sg.off)
+		total += rn
+		if rerr != nil && rerr != io.EOF {
+			putBuf(buf) // the error response carries no data; recycle now
+			return errResp(fmt.Errorf("%w: %v", ErrIO, rerr))
+		}
+		if rn < sg.n {
+			break
+		}
+	}
+	atomic.AddInt64(&ss.srv.stats.BytesRead, int64(total))
+	return &response{value: int64(total), data: buf[:total]}
 }
 
 func (ss *session) seek(req *request) *response {
