@@ -56,14 +56,17 @@ fuzz-short:
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeWritev -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzReadvRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeReadv -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzDecodeAuth -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/srb -run=^$$ -fuzz=FuzzAuthRoundTrip -fuzztime=$(FUZZTIME)
 
 # Seeded chaos smoke: a full workload under connection kills, partitions,
 # latency spikes and a server crash/restart, with end-to-end checksum
 # verification and leak checks, plus the federated variant (three shards,
-# replicated placement, one shard killed mid-write). Deterministic
-# schedules, seconds to run.
+# replicated placement, one shard killed mid-write) and the abusive-tenant
+# scenario (one flooding tenant shed at its bucket while well-behaved
+# neighbors run clean). Deterministic schedules, seconds to run.
 chaos-short:
-	$(GO) test ./internal/chaos -run 'TestChaosShort|TestChaosFederationShort' -count=1
+	$(GO) test ./internal/chaos -run 'TestChaosShort|TestChaosFederationShort|TestChaosTenantShort' -count=1
 
 # The full soak (several seeds, every fault class repeatedly); not part of
 # `make check`.
@@ -71,17 +74,18 @@ chaos-long:
 	$(GO) test -tags chaoslong ./internal/chaos -run TestChaosLong -count=1 -v
 
 # Wire hot-path snapshot (pipelining, write coalescing, allocs/op,
-# 1-vs-3-server federated striping, strided-read fast paths): writes
-# $(BENCH_SNAP) for committing alongside the change it measures, then runs
-# the paper-figure benchmarks.
-BENCH_SNAP ?= BENCH_9.json
+# 1-vs-3-server federated striping, strided-read fast paths, fair-share
+# p99 under a flooding neighbor): writes $(BENCH_SNAP) for committing
+# alongside the change it measures, then runs the paper-figure benchmarks.
+BENCH_SNAP ?= BENCH_10.json
 
 bench:
 	$(GO) run ./cmd/benchsnap -out $(BENCH_SNAP)
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Tiny benchsnap run (result discarded): proves the measurement harness
-# still works and that neither pipelining nor the sieved strided read has
-# regressed below its naive baseline. Wired into CI.
+# still works, that neither pipelining nor the sieved strided read has
+# regressed below its naive baseline, and that a flooding tenant is shed
+# at its bucket instead of wrecking its neighbor's p99. Wired into CI.
 bench-smoke:
 	$(GO) run ./cmd/benchsnap -quick -out -

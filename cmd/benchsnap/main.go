@@ -21,20 +21,26 @@
 //     contiguous reads), as list I/O (one offset/length vector on the
 //     wire), and as a two-phase collective across ranks whose views tile
 //     the file.
+//  6. What does fair-share admission buy? A well-behaved tenant's p99 op
+//     latency is measured alone and with a rate-limited neighbor flooding
+//     the same server; per-tenant token buckets should shed the flood
+//     before it queues in front of the victim.
 //
 // Usage:
 //
-//	benchsnap [-out BENCH_9.json] [-ops 400] [-size 512] [-depth 16]
+//	benchsnap [-out BENCH_10.json] [-ops 400] [-size 512] [-depth 16]
 //	          [-latency 500us] [-quick]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,6 +52,7 @@ import (
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
+	"semplar/internal/tenant"
 )
 
 type result struct {
@@ -54,6 +61,8 @@ type result struct {
 	WallNS      int64   `json:"wall_ns"`
 	NSPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	P99NS       int64   `json:"p99_ns,omitempty"`
+	ShedOps     int64   `json:"shed_ops,omitempty"`
 }
 
 type snapshot struct {
@@ -83,6 +92,10 @@ type config struct {
 	StridedRecBytes    int `json:"strided_rec_bytes"`
 	StridedStrideBytes int `json:"strided_stride_bytes"`
 	TwoPhaseRanks      int `json:"two_phase_ranks"`
+
+	FairOps          int     `json:"fair_ops"`
+	FairOpBytes      int     `json:"fair_op_bytes"`
+	FlooderOpsPerSec float64 `json:"flooder_ops_per_sec"`
 }
 
 type derived struct {
@@ -108,10 +121,15 @@ type derived struct {
 	// collective moves TwoPhaseRanks× the data of the naive scenario, so
 	// this understates the per-byte win.
 	TwoPhaseSpeedup float64 `json:"two_phase_speedup"`
+	// FairShareSlowdown is a well-behaved tenant's p99 op latency with a
+	// rate-limited neighbor flooding the same server, over its solo p99.
+	// Fair-share admission should keep this near 1: the flood is shed at
+	// the bucket, not queued in front of the victim.
+	FairShareSlowdown float64 `json:"fair_share_slowdown"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "snapshot output path (- for stdout)")
+	out := flag.String("out", "BENCH_10.json", "snapshot output path (- for stdout)")
 	ops := flag.Int("ops", 400, "small ops per scenario")
 	size := flag.Int("size", 512, "bytes per small op")
 	depth := flag.Int("depth", 16, "concurrent in-flight ops in the pipelined scenario")
@@ -134,6 +152,8 @@ func main() {
 	fedMBps := 128.0
 	stridedRec := 512
 	stridedStride := 4 << 10 // density 1/8: sparse enough for list I/O
+	fairOps := *ops
+	floodRate := 50.0
 
 	cfg := config{
 		Ops: *ops, OpBytes: *size, OneWayLatNS: int64(*latency), Depth: *depth,
@@ -142,6 +162,9 @@ func main() {
 		FedWriteMBps:   fedMBps,
 		StridedRecords: stridedRecords, StridedRecBytes: stridedRec,
 		StridedStrideBytes: stridedStride, TwoPhaseRanks: stridedStride / stridedRec,
+		FairOps:          fairOps,
+		FairOpBytes:      *size,
+		FlooderOpsPerSec: floodRate,
 	}
 
 	serialized, err := runSmallWrites(*latency, *ops, *size, 1)
@@ -181,13 +204,20 @@ func main() {
 	check(err)
 	twoPhase.Name = "strided-read/two-phase"
 
+	fairSolo, err := runFairShare(*latency, fairOps, *size, floodRate, false)
+	check(err)
+	fairSolo.Name = "fair-share/solo"
+	fairFlooded, err := runFairShare(*latency, fairOps, *size, floodRate, true)
+	check(err)
+	fairFlooded.Name = "fair-share/flooded"
+
 	snap := snapshot{
 		Bench:  "wire-pipelining",
 		Tool:   "cmd/benchsnap",
 		Go:     runtime.Version(),
 		Config: cfg,
 		Results: []result{serialized, pipelined, uncoalesced, coalesced, fedOne, fedMany,
-			naiveStrided, sievedStrided, listioStrided, twoPhase},
+			naiveStrided, sievedStrided, listioStrided, twoPhase, fairSolo, fairFlooded},
 		Derived: derived{
 			PipelineSpeedup:   ratio(serialized.WallNS, pipelined.WallNS),
 			CoalesceSpeedup:   ratio(uncoalesced.WallNS, coalesced.WallNS),
@@ -195,6 +225,7 @@ func main() {
 			SieveSpeedup:      ratio(naiveStrided.WallNS, sievedStrided.WallNS),
 			ListIOSpeedup:     ratio(naiveStrided.WallNS, listioStrided.WallNS),
 			TwoPhaseSpeedup:   ratio(naiveStrided.WallNS, twoPhase.WallNS),
+			FairShareSlowdown: ratio(fairFlooded.P99NS, fairSolo.P99NS),
 		},
 	}
 
@@ -206,10 +237,11 @@ func main() {
 		check(err)
 	} else {
 		check(os.WriteFile(*out, enc, 0o644))
-		fmt.Printf("wrote %s: pipeline %.2fx, coalesce %.2fx, federation %.2fx, sieve %.2fx, listio %.2fx, two-phase %.2fx\n",
+		fmt.Printf("wrote %s: pipeline %.2fx, coalesce %.2fx, federation %.2fx, sieve %.2fx, listio %.2fx, two-phase %.2fx, fair-share p99 %.2fx\n",
 			*out, snap.Derived.PipelineSpeedup, snap.Derived.CoalesceSpeedup,
 			snap.Derived.FederationSpeedup, snap.Derived.SieveSpeedup,
-			snap.Derived.ListIOSpeedup, snap.Derived.TwoPhaseSpeedup)
+			snap.Derived.ListIOSpeedup, snap.Derived.TwoPhaseSpeedup,
+			snap.Derived.FairShareSlowdown)
 	}
 
 	// A snapshot whose headline numbers show no improvement means a hot
@@ -227,6 +259,19 @@ func main() {
 	if snap.Derived.SieveSpeedup < 1.0 {
 		fmt.Fprintf(os.Stderr, "benchsnap: sieved strided read slower than naive (%.2fx)\n",
 			snap.Derived.SieveSpeedup)
+		os.Exit(1)
+	}
+	// The fair-share gate: the flood must actually have hit the limiter,
+	// and shedding it must have protected the neighbor — a generous bound
+	// because p99 on a loaded CI box is noisy, but an unprotected server
+	// (flood queued in front of the victim) blows well past it.
+	if fairFlooded.ShedOps == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: flooding tenant was never rate-limited")
+		os.Exit(1)
+	}
+	if snap.Derived.FairShareSlowdown > 10.0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: neighbor flood slowed well-behaved p99 %.2fx\n",
+			snap.Derived.FairShareSlowdown)
 		os.Exit(1)
 	}
 }
@@ -528,6 +573,105 @@ func runFederatedWrite(latency time.Duration, totalBytes, stripe, servers int, r
 		Ops:     ops,
 		WallNS:  wall.Nanoseconds(),
 		NSPerOp: wall.Nanoseconds() / int64(ops),
+	}, nil
+}
+
+// runFairShare measures a well-behaved tenant's per-op latency on a
+// multi-tenant server, alone and (with flood) while an abusive neighbor
+// hammers the same server with unpaced single-attempt writes against a
+// tight rate limit. The abuser's excess is shed at its token bucket, so
+// the victim's p99 should barely move; the shed count comes back so the
+// caller can verify the flood actually hit the limiter.
+func runFairShare(latency time.Duration, ops, size int, floodRate float64, flood bool) (result, error) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	reg := tenant.NewRegistry()
+	victimKey := []byte("bench-victim-key")
+	floodKey := []byte("bench-flood-key")
+	reg.Register("victim", victimKey, tenant.Limits{OpsPerSec: 1e6, Burst: 1})
+	reg.Register("flood", floodKey, tenant.Limits{OpsPerSec: floodRate, Burst: 0.25})
+	srv.SetTenants(reg)
+	dial := func() (net.Conn, error) {
+		cEnd, sEnd := netsim.Pipe(latency, nil, nil)
+		go srv.ServeConn(sEnd)
+		return cEnd, nil
+	}
+
+	stop := make(chan struct{})
+	floodDone := make(chan error, 1)
+	if flood {
+		fconn, err := srb.DialRetryAuth(dial, "bench-flood",
+			srb.Credentials{TenantID: "flood", Key: floodKey}, srb.RetryPolicy{})
+		if err != nil {
+			return result{}, err
+		}
+		defer fconn.Close()
+		ff, err := fconn.Open("/flood.dat", srb.O_RDWR|srb.O_CREATE, "")
+		if err != nil {
+			return result{}, err
+		}
+		go func() {
+			defer ff.Close()
+			blk := make([]byte, 256)
+			for {
+				select {
+				case <-stop:
+					floodDone <- nil
+					return
+				default:
+				}
+				if _, err := ff.WriteAt(blk, 0); err != nil && !errors.Is(err, srb.ErrRateLimited) {
+					floodDone <- err
+					return
+				}
+			}
+		}()
+	} else {
+		close(floodDone)
+	}
+
+	conn, err := srb.DialRetryAuth(dial, "bench-victim",
+		srb.Credentials{TenantID: "victim", Key: victimKey}, srb.RetryPolicy{})
+	if err != nil {
+		return result{}, err
+	}
+	defer conn.Close()
+	f, err := conn.Open("/victim.dat", srb.O_RDWR|srb.O_CREATE, "")
+	if err != nil {
+		return result{}, err
+	}
+	defer f.Close()
+
+	blk := make([]byte, size)
+	for i := range blk {
+		blk[i] = byte(i)
+	}
+	if _, err := f.WriteAt(blk, 0); err != nil {
+		return result{}, err
+	}
+
+	lats := make([]time.Duration, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		opStart := time.Now()
+		if _, err := f.WriteAt(blk, int64(i*size)); err != nil {
+			return result{}, fmt.Errorf("victim op %d beside the flood: %w", i, err)
+		}
+		lats[i] = time.Since(opStart)
+	}
+	wall := time.Since(start)
+
+	close(stop)
+	if err := <-floodDone; err != nil {
+		return result{}, fmt.Errorf("flooder: %w", err)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st := reg.StatsAll()["flood"]
+	return result{
+		Ops:     ops,
+		WallNS:  wall.Nanoseconds(),
+		NSPerOp: wall.Nanoseconds() / int64(ops),
+		P99NS:   lats[ops*99/100].Nanoseconds(),
+		ShedOps: st.ShedOps,
 	}, nil
 }
 

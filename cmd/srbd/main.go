@@ -6,10 +6,22 @@
 //
 //	srbd [-listen :5544] [-root DIR] [-read-mbps N] [-write-mbps N]
 //	srbd -fleet 3 [-name s] [-listen :5544] ...
+//	srbd -auth-keys tenants.conf [-tenant-limits ops=500,quota=1e9] [-metrics-addr :9090]
 //
 // With -root the server persists objects under DIR; otherwise it serves
 // from memory. The rate flags emulate the storage device's sustained
 // bandwidth.
+//
+// With -auth-keys the server is multi-tenant: every handshake must carry
+// a tenant ID and key proof from the file (one
+// '<tenant> <hexkey> [ops=N] [bytes=N] [quota=N] [burst=S]' per line;
+// -tenant-limits supplies fleet-wide defaults for fields a line omits).
+// Per-tenant token buckets shed excess load with a retryable rate-limit
+// status and storage quotas refuse growth terminally.
+//
+// With -metrics-addr the process serves a Prometheus-text /metrics
+// endpoint (server, per-tenant and trace counters); it drains on SIGTERM
+// alongside the data listeners.
 //
 // With -fleet N the process runs N independent server shards for a
 // federated deployment: shard i is named <name><i> (matching how an MCAT
@@ -34,9 +46,13 @@ import (
 	"syscall"
 	"time"
 
+	"net/http"
+
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
+	"semplar/internal/tenant"
+	"semplar/internal/trace"
 )
 
 // shard is one running server of the fleet (the whole deployment when
@@ -58,10 +74,27 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight operations on shutdown")
 	fleet := flag.Int("fleet", 1, "number of federated server shards to run")
 	name := flag.String("name", "s", "shard name prefix; shard i is <name><i>")
+	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus-text /metrics endpoint on this address (empty = off)")
+	authKeys := flag.String("auth-keys", "", "tenant key file; one '<tenant> <hexkey> [ops=N] [bytes=N] [quota=N] [burst=S]' per line. Makes authentication mandatory")
+	tenantLimits := flag.String("tenant-limits", "", "default per-tenant limits for -auth-keys tenants, e.g. 'ops=500,bytes=1e8,quota=1e9,burst=2'")
 	flag.Parse()
 
 	if *fleet < 1 {
 		log.Fatalf("srbd: -fleet must be at least 1")
+	}
+	var tenants *tenant.Registry
+	if *authKeys != "" {
+		defaults, err := parseLimits(*tenantLimits)
+		if err != nil {
+			log.Fatalf("srbd: bad -tenant-limits: %v", err)
+		}
+		reg, err := loadAuthKeys(*authKeys, defaults)
+		if err != nil {
+			log.Fatalf("srbd: -auth-keys %s: %v", *authKeys, err)
+		}
+		tenants = reg
+	} else if *tenantLimits != "" {
+		log.Fatalf("srbd: -tenant-limits needs -auth-keys")
 	}
 	host, portStr, err := net.SplitHostPort(*listen)
 	if err != nil {
@@ -103,6 +136,11 @@ func main() {
 		srv := srb.NewServer()
 		srv.AddResource("default", kind, store)
 		srv.SetLimits(limits)
+		if tenants != nil {
+			// One registry across the fleet: a tenant's buckets meter its
+			// aggregate rate through this process, not per shard.
+			srv.SetTenants(tenants)
+		}
 
 		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
 		l, err := net.Listen("tcp", addr)
@@ -115,6 +153,29 @@ func main() {
 		} else {
 			log.Printf("srbd: serving %s storage on %s", kind, l.Addr())
 		}
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		// A metrics-only tracer keeps the silent trace counters flowing to
+		// the endpoint at O(1) memory — no span events accumulate.
+		tr := trace.NewMetricsOnly()
+		for _, sh := range shards {
+			sh.srv.SetTracer(tr)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(shards, tr))
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("srbd: metrics listen %s: %v", *metricsAddr, err)
+		}
+		log.Printf("srbd: metrics on http://%s/metrics", ml.Addr())
+		go func() {
+			if err := metricsSrv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("srbd: metrics server: %v", err)
+			}
+		}()
 	}
 
 	if *statsEvery > 0 {
@@ -147,6 +208,17 @@ func main() {
 					log.Printf("srbd: %s drain incomplete: %v", sh.name, err)
 				}
 			}(sh)
+		}
+		if metricsSrv != nil {
+			// The admin endpoint drains with the data listeners so a final
+			// scrape can still land during the grace period.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := metricsSrv.Shutdown(ctx); err != nil {
+					log.Printf("srbd: metrics drain incomplete: %v", err)
+				}
+			}()
 		}
 		wg.Wait()
 		var conns, reqs, drained, shed int64

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"semplar/internal/trace"
+)
+
+// metricsHandler serves the fleet's counters in Prometheus text
+// exposition format: per-shard ServerStats, per-tenant admission and
+// usage gauges (when a tenant registry is attached), and the silent
+// trace counters (when a tracer is attached).
+func metricsHandler(shards []*shard, tr *trace.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, shards, tr)
+	})
+}
+
+func writeMetrics(w io.Writer, shards []*shard, tr *trace.Tracer) {
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	perShard := func(name string, pick func(*shard) int64) {
+		for _, sh := range shards {
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, sh.name, pick(sh))
+		}
+	}
+
+	counter("srbd_connections_total", "connections accepted")
+	perShard("srbd_connections_total", func(sh *shard) int64 { return sh.srv.Stats().Connections })
+	counter("srbd_requests_total", "requests served")
+	perShard("srbd_requests_total", func(sh *shard) int64 { return sh.srv.Stats().Requests })
+	counter("srbd_bytes_read_total", "data served to clients")
+	perShard("srbd_bytes_read_total", func(sh *shard) int64 { return sh.srv.Stats().BytesRead })
+	counter("srbd_bytes_written_total", "data committed from clients")
+	perShard("srbd_bytes_written_total", func(sh *shard) int64 { return sh.srv.Stats().BytesWritten })
+	counter("srbd_protocol_errors_total", "requests failing wire-protocol parsing")
+	perShard("srbd_protocol_errors_total", func(sh *shard) int64 { return sh.srv.Stats().ProtocolError })
+	counter("srbd_shed_total", "requests refused with server-busy (global overload)")
+	perShard("srbd_shed_total", func(sh *shard) int64 { return sh.srv.Stats().Shed })
+	counter("srbd_drained_total", "in-flight ops completed during shutdown")
+	perShard("srbd_drained_total", func(sh *shard) int64 { return sh.srv.Stats().Drained })
+	counter("srbd_rate_limited_total", "requests refused by a tenant bucket (fair-share shed)")
+	perShard("srbd_rate_limited_total", func(sh *shard) int64 { return sh.srv.Stats().RateLimited })
+	counter("srbd_auth_failed_total", "handshakes refused for bad tenant credentials")
+	perShard("srbd_auth_failed_total", func(sh *shard) int64 { return sh.srv.Stats().AuthFailed })
+	gauge("srbd_active_conns", "connections currently served")
+	perShard("srbd_active_conns", func(sh *shard) int64 { return sh.srv.Stats().ActiveConns })
+	gauge("srbd_open_handles", "file handles currently open")
+	perShard("srbd_open_handles", func(sh *shard) int64 { return sh.srv.Stats().OpenHandles })
+
+	writeTenantMetrics(w, shards, counter, gauge)
+
+	if tr != nil {
+		counter("srbd_trace_counter", "internal trace counters, by name")
+		ctrs := tr.Counters()
+		names := make([]string, 0, len(ctrs))
+		for name := range ctrs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "srbd_trace_counter{name=%q} %d\n", name, ctrs[name])
+		}
+	}
+}
+
+// writeTenantMetrics emits per-tenant admission counters and usage/quota
+// gauges for every shard with a tenant registry attached. Tenant names
+// come back sorted from the registry, so scrapes are deterministic.
+func writeTenantMetrics(w io.Writer, shards []*shard, counter, gauge func(name, help string)) {
+	type row struct {
+		shard, tenant string
+		admitted      int64
+		shed          int64
+		usage         int64
+		quota         int64
+	}
+	var rows []row
+	for _, sh := range shards {
+		reg := sh.srv.Tenants()
+		if reg == nil {
+			continue
+		}
+		stats := reg.StatsAll()
+		usage := sh.srv.Catalog().UsageAll()
+		for _, id := range reg.Names() {
+			r := row{shard: sh.name, tenant: id,
+				admitted: stats[id].Admitted, shed: stats[id].ShedOps, usage: usage[id]}
+			if t, ok := reg.Lookup(id); ok {
+				r.quota = t.Limits().QuotaBytes
+			}
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	counter("srbd_tenant_admitted_total", "ops admitted through the tenant's buckets")
+	for _, r := range rows {
+		fmt.Fprintf(w, "srbd_tenant_admitted_total{shard=%q,tenant=%q} %d\n", r.shard, r.tenant, r.admitted)
+	}
+	counter("srbd_tenant_shed_total", "ops refused by the tenant's buckets")
+	for _, r := range rows {
+		fmt.Fprintf(w, "srbd_tenant_shed_total{shard=%q,tenant=%q} %d\n", r.shard, r.tenant, r.shed)
+	}
+	gauge("srbd_tenant_usage_bytes", "bytes the tenant's files occupy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "srbd_tenant_usage_bytes{shard=%q,tenant=%q} %d\n", r.shard, r.tenant, r.usage)
+	}
+	gauge("srbd_tenant_quota_bytes", "tenant storage quota (0 = unlimited)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "srbd_tenant_quota_bytes{shard=%q,tenant=%q} %d\n", r.shard, r.tenant, r.quota)
+	}
+}

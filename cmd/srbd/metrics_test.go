@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/storage"
+	"semplar/internal/tenant"
+	"semplar/internal/trace"
+)
+
+func TestParseLimits(t *testing.T) {
+	l, err := parseLimits(" ops=500, bytes=1e6 ,quota=4096,burst=2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tenant.Limits{OpsPerSec: 500, BytesPerSec: 1e6, QuotaBytes: 4096, Burst: 2}
+	if l != want {
+		t.Fatalf("parseLimits = %+v, want %+v", l, want)
+	}
+	if l, err := parseLimits(""); err != nil || l != (tenant.Limits{}) {
+		t.Fatalf("empty limits = %+v, %v", l, err)
+	}
+	for _, bad := range []string{"ops", "ops=x", "ops=-1", "quota=1.5", "speed=9"} {
+		if _, err := parseLimits(bad); err == nil {
+			t.Errorf("parseLimits(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestParseAuthKeys(t *testing.T) {
+	const file = `
+# production tenants
+acme deadbeef ops=100 quota=1000
+zeta c0ffee
+
+bulk 00ff bytes=5e6 burst=4
+`
+	defaults := tenant.Limits{OpsPerSec: 7, Burst: 2}
+	reg, err := parseAuthKeys(strings.NewReader(file), defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Names(); len(got) != 3 {
+		t.Fatalf("tenants = %v, want 3", got)
+	}
+	acme, _ := reg.Lookup("acme")
+	if l := acme.Limits(); l.OpsPerSec != 100 || l.QuotaBytes != 1000 || l.Burst != 2 {
+		t.Fatalf("acme limits = %+v (overrides on top of defaults)", l)
+	}
+	zeta, _ := reg.Lookup("zeta")
+	if l := zeta.Limits(); l != defaults {
+		t.Fatalf("zeta limits = %+v, want defaults %+v", l, defaults)
+	}
+	bulk, _ := reg.Lookup("bulk")
+	if l := bulk.Limits(); l.OpsPerSec != 7 || l.BytesPerSec != 5e6 || l.Burst != 4 {
+		t.Fatalf("bulk limits = %+v", l)
+	}
+	// The registered key must verify real proofs.
+	if _, err := reg.Authenticate("acme", "u", tenant.Proof([]byte{0xde, 0xad, 0xbe, 0xef}, "acme", "u")); err != nil {
+		t.Fatalf("hex key does not authenticate: %v", err)
+	}
+
+	for _, bad := range []string{
+		"onlyid",
+		"acme nothex",
+		"acme ",
+		"acme deadbeef ops=x",
+		"dup aa\ndup bb",
+	} {
+		if _, err := parseAuthKeys(strings.NewReader(bad), tenant.Limits{}); err == nil {
+			t.Errorf("parseAuthKeys(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := srb.NewMemServer(storage.DeviceSpec{})
+	reg := tenant.NewRegistry()
+	key := []byte("metrics-key")
+	reg.Register("acme", key, tenant.Limits{QuotaBytes: 1 << 20})
+	srv.SetTenants(reg)
+	tr := trace.NewMetricsOnly()
+	srv.SetTracer(tr)
+
+	// Drive real traffic so the counters move: one authenticated write,
+	// one refused anonymous handshake.
+	cEnd, sEnd := netsim.Pipe(0, nil, nil)
+	go srv.ServeConn(sEnd)
+	conn, err := srb.NewConnAuth(cEnd, "scraper", srb.Credentials{TenantID: "acme", Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := conn.Open("/m", srb.O_RDWR|srb.O_CREATE, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	aEnd, asEnd := netsim.Pipe(0, nil, nil)
+	go srv.ServeConn(asEnd)
+	if _, err := srb.NewConn(aEnd, "anon"); err == nil {
+		t.Fatal("anonymous handshake accepted")
+	}
+
+	rec := httptest.NewRecorder()
+	metricsHandler([]*shard{{name: "s0", srv: srv}}, tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE srbd_requests_total counter",
+		`srbd_auth_failed_total{shard="s0"} 1`,
+		`srbd_bytes_written_total{shard="s0"} 100`,
+		`srbd_tenant_usage_bytes{shard="s0",tenant="acme"} 100`,
+		`srbd_tenant_quota_bytes{shard="s0",tenant="acme"} 1048576`,
+		`srbd_tenant_admitted_total{shard="s0",tenant="acme"}`,
+		`srbd_tenant_shed_total{shard="s0",tenant="acme"} 0`,
+		`srbd_trace_counter{name="srb.server.auth_failed"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+	conn.Close()
+}

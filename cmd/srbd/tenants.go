@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"semplar/internal/tenant"
+)
+
+// parseLimits parses a -tenant-limits value: comma-separated k=v pairs
+// with keys ops (ops/s), bytes (bytes/s), quota (bytes) and burst
+// (seconds). The empty string is the zero Limits (unlimited).
+func parseLimits(s string) (tenant.Limits, error) {
+	var l tenant.Limits
+	if s = strings.TrimSpace(s); s == "" {
+		return l, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		if err := applyLimitField(&l, strings.TrimSpace(kv)); err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+func applyLimitField(l *tenant.Limits, kv string) error {
+	k, v, ok := strings.Cut(kv, "=")
+	if !ok {
+		return fmt.Errorf("limit %q is not key=value", kv)
+	}
+	switch k {
+	case "ops", "bytes", "burst":
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("limit %s=%q is not a non-negative number", k, v)
+		}
+		switch k {
+		case "ops":
+			l.OpsPerSec = f
+		case "bytes":
+			l.BytesPerSec = f
+		case "burst":
+			l.Burst = f
+		}
+	case "quota":
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("limit quota=%q is not a non-negative integer", v)
+		}
+		l.QuotaBytes = n
+	default:
+		return fmt.Errorf("unknown limit key %q (want ops, bytes, quota or burst)", k)
+	}
+	return nil
+}
+
+// parseAuthKeys reads a tenant key file into a registry. One tenant per
+// line:
+//
+//	<tenant-id> <hex-key> [ops=N] [bytes=N] [quota=N] [burst=S]
+//
+// Blank lines and #-comments are skipped. Fields after the key override
+// the given default limits for that tenant only.
+func parseAuthKeys(r io.Reader, defaults tenant.Limits) (*tenant.Registry, error) {
+	reg := tenant.NewRegistry()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	seen := make(map[string]bool)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: want <tenant> <hexkey> [limits...]", lineNo)
+		}
+		id := fields[0]
+		if seen[id] {
+			return nil, fmt.Errorf("line %d: duplicate tenant %q", lineNo, id)
+		}
+		seen[id] = true
+		key, err := hex.DecodeString(fields[1])
+		if err != nil || len(key) == 0 {
+			return nil, fmt.Errorf("line %d: tenant %s: key is not non-empty hex", lineNo, id)
+		}
+		limits := defaults
+		for _, kv := range fields[2:] {
+			if err := applyLimitField(&limits, kv); err != nil {
+				return nil, fmt.Errorf("line %d: tenant %s: %v", lineNo, id, err)
+			}
+		}
+		reg.Register(id, key, limits)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// loadAuthKeys parses the -auth-keys file.
+func loadAuthKeys(path string, defaults tenant.Limits) (*tenant.Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseAuthKeys(f, defaults)
+}

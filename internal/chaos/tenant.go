@@ -1,0 +1,261 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"semplar/internal/cluster"
+	"semplar/internal/core"
+	"semplar/internal/netsim"
+	"semplar/internal/srb"
+	"semplar/internal/tenant"
+)
+
+// TenantConfig sizes one abusive-tenant chaos run: one flooding tenant
+// hammering a tight rate limit next to N well-behaved tenants doing real
+// work under generous limits. The fault this scenario injects is the
+// abuser itself; the invariant verified is fair-share isolation — every
+// well-behaved op completes, none is misclassified terminal, and the
+// abuser's excess is shed with statusRateLimited, visible in per-tenant
+// stats.
+type TenantConfig struct {
+	// Seed drives the file contents and the abuser's op shapes; the same
+	// seed reproduces the same run.
+	Seed int64
+
+	WellBehaved int // well-behaved tenants (default 3)
+	Files       int // files per well-behaved tenant (default 1)
+	FileSize    int // bytes per file (default 64 KiB)
+	Chunk       int // write/read granularity (default 8 KiB)
+
+	// FloodOps is how many back-to-back ops the abuser fires with no
+	// pacing and no retries (default 200). Against AbuserOpsPerSec it
+	// floods at far beyond 10x its sustainable rate.
+	FloodOps        int
+	AbuserOpsPerSec float64 // abuser's ops bucket (default 20, burst 5)
+
+	// Retry is the well-behaved tenants' policy; the zero value gets the
+	// chaos default. The abuser always runs without retries so every shed
+	// is observable.
+	Retry srb.RetryPolicy
+}
+
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.WellBehaved <= 0 {
+		c.WellBehaved = 3
+	}
+	if c.Files <= 0 {
+		c.Files = 1
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 64 << 10
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 8 << 10
+	}
+	if c.FloodOps <= 0 {
+		c.FloodOps = 200
+	}
+	if c.AbuserOpsPerSec <= 0 {
+		c.AbuserOpsPerSec = 20
+	}
+	if !c.Retry.Enabled() {
+		c.Retry = srb.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  200 * time.Millisecond,
+			Multiplier:  1.5,
+			Jitter:      0.2,
+			OpTimeout:   5 * time.Second,
+		}
+	}
+	return c
+}
+
+// TenantResult reports one abusive-tenant run.
+type TenantResult struct {
+	Files        []FileReport            // well-behaved files, all verified
+	AbuserSheds  int64                   // floods refused with ErrRateLimited, client view
+	AbuserAdmits int64                   // floods that got through
+	Server       srb.ServerStats         // post-run fleet counters
+	Tenants      map[string]tenant.Stats // per-tenant admission counters
+}
+
+const abuserID = "abuser"
+
+func politeID(i int) string { return fmt.Sprintf("polite%d", i) }
+
+func tenantChaosKey(id string) []byte { return []byte("chaos-key-" + id) }
+
+// RunTenant executes one seeded abusive-tenant run and verifies the
+// fairness invariant. All tenants share one server; only their buckets
+// separate them.
+func RunTenant(cfg TenantConfig) (*TenantResult, error) {
+	cfg = cfg.withDefaults()
+	baselineGoroutines := runtime.NumGoroutine()
+
+	tb := cluster.NewFederated(cluster.Spec{
+		Name:    "chaos-tenant",
+		Profile: netsim.Loopback(),
+	}, cfg.WellBehaved+1, 1, 1)
+
+	// Per-tenant limits: the abuser gets a tight ops bucket, the
+	// well-behaved tenants get room for their whole workload plus slack.
+	// The registry outlives the run — and would outlive server restarts.
+	reg := tenant.NewRegistry()
+	reg.Register(abuserID, tenantChaosKey(abuserID), tenant.Limits{
+		OpsPerSec: cfg.AbuserOpsPerSec,
+		Burst:     0.25,
+	})
+	for i := 0; i < cfg.WellBehaved; i++ {
+		id := politeID(i)
+		reg.Register(id, tenantChaosKey(id), tenant.Limits{
+			OpsPerSec: 5000,
+			Burst:     1,
+		})
+	}
+	tb.SetTenants(reg)
+	if err := tb.ActiveServer().MkdirAll("/tenants"); err != nil {
+		return nil, err
+	}
+
+	res := &TenantResult{}
+
+	// The abuser floods on node 0; each well-behaved tenant works on its
+	// own node. Everything runs concurrently so the flood and the real
+	// work contend on the same server.
+	type politeOutcome struct {
+		id    string
+		files []FileReport
+		err   error
+	}
+	outcomes := make(chan politeOutcome, cfg.WellBehaved)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var abuseErr error
+	go func() {
+		defer wg.Done()
+		res.AbuserSheds, res.AbuserAdmits, abuseErr = runAbuser(tb, cfg)
+	}()
+	for i := 0; i < cfg.WellBehaved; i++ {
+		go func(i int) {
+			files, err := runPolite(tb, cfg, i)
+			outcomes <- politeOutcome{id: politeID(i), files: files, err: err}
+		}(i)
+	}
+	var workErr error
+	for i := 0; i < cfg.WellBehaved; i++ {
+		o := <-outcomes
+		if o.err != nil && workErr == nil {
+			workErr = fmt.Errorf("%s: %w", o.id, o.err)
+		}
+		res.Files = append(res.Files, o.files...)
+	}
+	wg.Wait()
+
+	res.Tenants = reg.StatsAll()
+	if abuseErr != nil {
+		return res, fmt.Errorf("chaos: abuser workload: %w", abuseErr)
+	}
+	if workErr != nil {
+		return res, fmt.Errorf("chaos: well-behaved workload failed beside the flood: %w", workErr)
+	}
+
+	// The fairness invariant, server-side view: the abuser's excess was
+	// shed and accounted to the abuser alone.
+	if res.AbuserSheds == 0 {
+		return res, fmt.Errorf("chaos: abuser flooded %d ops and was never shed", cfg.FloodOps)
+	}
+	ab := res.Tenants[abuserID]
+	if ab.ShedOps == 0 {
+		return res, fmt.Errorf("chaos: abuser sheds invisible in per-tenant stats: %+v", ab)
+	}
+	for i := 0; i < cfg.WellBehaved; i++ {
+		if ts := res.Tenants[politeID(i)]; ts.ShedOps != 0 {
+			return res, fmt.Errorf("chaos: well-behaved %s charged %d sheds for the abuser's flood", politeID(i), ts.ShedOps)
+		}
+	}
+	if err := checkLeaks(tb, &Result{}, baselineGoroutines); err != nil {
+		return res, err
+	}
+	res.Server = tb.ActiveServer().Stats()
+	if res.Server.RateLimited < res.AbuserSheds {
+		return res, fmt.Errorf("chaos: server counted %d rate-limited ops, client observed %d",
+			res.Server.RateLimited, res.AbuserSheds)
+	}
+	return res, nil
+}
+
+// runAbuser floods the server with unpaced single-attempt ops. Every
+// refusal must be the retryable rate-limit shed — anything terminal (or
+// any transport failure) fails the run: overload protection must never
+// escalate to breaking the abuser's connection.
+func runAbuser(tb *cluster.Testbed, cfg TenantConfig) (sheds, admits int64, err error) {
+	conn, err := srb.DialRetryAuth(tb.Dialer(0), "chaos-abuser",
+		srb.Credentials{TenantID: abuserID, Key: tenantChaosKey(abuserID)}, srb.RetryPolicy{})
+	if err != nil {
+		return 0, 0, fmt.Errorf("abuser dial: %w", err)
+	}
+	defer conn.Close()
+
+	// The opening burst covers the open; from there the flood outruns the
+	// bucket immediately.
+	f, err := conn.Open("/tenants/abuser-scratch", srb.O_RDWR|srb.O_CREATE, "")
+	if err != nil {
+		return 0, 0, fmt.Errorf("abuser open: %w", err)
+	}
+	defer f.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
+	payload := make([]byte, 512)
+	for i := 0; i < cfg.FloodOps; i++ {
+		rng.Read(payload)
+		_, werr := f.WriteAt(payload, int64(rng.Intn(1<<16)))
+		switch {
+		case werr == nil:
+			admits++
+		case errors.Is(werr, srb.ErrRateLimited):
+			if !srb.Retryable(werr) {
+				return sheds, admits, fmt.Errorf("flood op %d: shed %v not retryable", i, werr)
+			}
+			var rl *srb.RateLimitedError
+			if !errors.As(werr, &rl) || rl.RetryAfter <= 0 {
+				return sheds, admits, fmt.Errorf("flood op %d: shed without retry-after hint: %v", i, werr)
+			}
+			sheds++
+		default:
+			return sheds, admits, fmt.Errorf("flood op %d: %v", i, werr)
+		}
+	}
+	return sheds, admits, nil
+}
+
+// runPolite runs one well-behaved tenant's workload through the full
+// client stack (striped streams, retry with the rate-limit backoff floor)
+// and verifies every byte read back.
+func runPolite(tb *cluster.Testbed, cfg TenantConfig, i int) ([]FileReport, error) {
+	id := politeID(i)
+	fs, err := core.NewSRBFS(core.SRBFSConfig{
+		Dial:   tb.Dialer(i + 1),
+		User:   "chaos-" + id,
+		Tenant: srb.Credentials{TenantID: id, Key: tenantChaosKey(id)},
+		Retry:  cfg.Retry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []FileReport
+	for fi := 0; fi < cfg.Files; fi++ {
+		p := fmt.Sprintf("/tenants/%s-f%d", id, fi)
+		content := fileContent(cfg.Seed, i+1, fi, cfg.FileSize)
+		if _, _, err := writeAndReadBack(fs, p, content, cfg.Chunk); err != nil {
+			return out, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, FileReport{Path: p, Verified: true})
+	}
+	return out, nil
+}

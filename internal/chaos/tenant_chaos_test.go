@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosTenantShort is the abusive-tenant smoke wired into `make
+// chaos-short`: one tenant flooding the server with unpaced, unretried
+// ops against a tight rate limit while three well-behaved tenants do real
+// striped I/O on the same server. RunTenant itself asserts the fairness
+// contract — every well-behaved op completes, nothing is misclassified
+// terminal, the abuser's excess is shed with a retryable rate-limit
+// status carrying a retry-after hint, and per-tenant stats pin every shed
+// on the abuser alone.
+func TestChaosTenantShort(t *testing.T) {
+	const seed = 2006
+	res, err := RunTenant(TenantConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("abusive-tenant run (seed %d): %v", seed, err)
+	}
+	if len(res.Files) != 3 {
+		t.Fatalf("verified %d well-behaved files, want 3", len(res.Files))
+	}
+	for _, f := range res.Files {
+		if !f.Verified {
+			t.Errorf("%s not verified", f.Path)
+		}
+	}
+	// The flood must have been mostly refused: at 10x-plus the abuser's
+	// sustainable rate, sheds dominate admissions.
+	if res.AbuserSheds <= res.AbuserAdmits {
+		t.Errorf("flood barely throttled: %d sheds vs %d admits", res.AbuserSheds, res.AbuserAdmits)
+	}
+	// Housekeeping ops outside the flood loop (the scratch-file close) may
+	// also be shed, so the per-tenant counter can run slightly ahead of the
+	// client's tally — never behind it.
+	if got := res.Tenants[abuserID].ShedOps; got < res.AbuserSheds {
+		t.Errorf("per-tenant sheds = %d, client observed %d", got, res.AbuserSheds)
+	}
+	if res.Server.RateLimited == 0 {
+		t.Error("server RateLimited counter never moved")
+	}
+	if res.Server.AuthFailed != 0 {
+		t.Errorf("AuthFailed = %d on a run with only valid credentials", res.Server.AuthFailed)
+	}
+}

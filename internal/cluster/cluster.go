@@ -17,6 +17,7 @@ import (
 	"semplar/internal/netsim"
 	"semplar/internal/srb"
 	"semplar/internal/storage"
+	"semplar/internal/tenant"
 	"semplar/internal/trace"
 )
 
@@ -84,13 +85,14 @@ type Testbed struct {
 	// ActiveServer (the field is rewritten by RestartServer).
 	Server *srb.Server
 
-	shards []*shardState   // immutable slice; each element mu-guarded
-	placer *mcat.Placer    // MCAT placement service, shared by all nodes
+	shards []*shardState    // immutable slice; each element mu-guarded
+	placer *mcat.Placer     // MCAT placement service, shared by all nodes
 	pjour  *mcat.MemJournal // placement journal behind placer
 
-	mu     sync.Mutex
-	limits srb.Limits // guarded by mu; applied to every generation
-	tracer *trace.Tracer
+	mu      sync.Mutex
+	limits  srb.Limits // guarded by mu; applied to every generation
+	tracer  *trace.Tracer
+	tenants *tenant.Registry // guarded by mu; applied to every generation
 }
 
 // shardState is one server shard: its storage and journal survive crashes,
@@ -139,7 +141,7 @@ func NewFederated(spec Spec, nodes, shards, replicas int) *Testbed {
 	}
 	tb.placer.SetJournal(tb.pjour)
 	for _, sh := range tb.shards {
-		sh.srv = tb.newServer(sh, tb.limits, tb.tracer)
+		sh.srv = tb.newServer(sh, tb.limits, tb.tracer, tb.tenants)
 	}
 	tb.Server = tb.shards[0].srv
 	return tb
@@ -151,7 +153,7 @@ func NewFederated(spec Spec, nodes, shards, replicas int) *Testbed {
 // mirroring a real daemon's startup order: config, replay, serve. The
 // mu-guarded limits/tracer are passed in by the caller rather than read
 // here.
-func (tb *Testbed) newServer(sh *shardState, limits srb.Limits, tr *trace.Tracer) *srb.Server {
+func (tb *Testbed) newServer(sh *shardState, limits srb.Limits, tr *trace.Tracer, reg *tenant.Registry) *srb.Server {
 	srv := srb.NewServer()
 	srv.AddResource("mem", "memory", sh.store)
 	srv.Catalog().Replay(sh.journal.Records())
@@ -159,6 +161,13 @@ func (tb *Testbed) newServer(sh *shardState, limits srb.Limits, tr *trace.Tracer
 	srv.SetLimits(limits)
 	if tr != nil {
 		srv.SetTracer(tr)
+	}
+	if reg != nil {
+		// The registry is shared across generations (a config file, not
+		// process state), so a restarted shard keeps enforcing the same
+		// bucket balances and the usage replayed from the journal lands
+		// under the same quotas.
+		srv.SetTenants(reg)
 	}
 	return srv
 }
@@ -197,6 +206,24 @@ func (tb *Testbed) SetServerLimits(l srb.Limits) {
 	tb.mu.Unlock()
 	for _, srv := range up {
 		srv.SetLimits(l)
+	}
+}
+
+// SetTenants attaches a tenant registry to every running shard and every
+// future generation, making authentication (and per-tenant rate limits /
+// quotas) mandatory fleet-wide. Call before serving traffic.
+func (tb *Testbed) SetTenants(reg *tenant.Registry) {
+	tb.mu.Lock()
+	tb.tenants = reg
+	var up []*srb.Server
+	for _, sh := range tb.shards {
+		if sh.srv != nil {
+			up = append(up, sh.srv)
+		}
+	}
+	tb.mu.Unlock()
+	for _, srv := range up {
+		srv.SetTenants(reg)
 	}
 }
 
@@ -280,7 +307,7 @@ func (tb *Testbed) RestartShard(i int) {
 	if sh.srv != nil {
 		return
 	}
-	sh.srv = tb.newServer(sh, tb.limits, tb.tracer)
+	sh.srv = tb.newServer(sh, tb.limits, tb.tracer, tb.tenants)
 	if tb.clampShard(i) == 0 {
 		tb.Server = sh.srv
 	}

@@ -63,6 +63,7 @@ type FedConfig struct {
 	// The remaining fields configure each per-server SRBFS pool; see
 	// SRBFSConfig for their semantics.
 	User            string
+	Tenant          srb.Credentials
 	Resource        string
 	Streams         int
 	StripeSize      int
@@ -107,6 +108,7 @@ func NewFedFS(cfg FedConfig) (*FedFS, error) {
 		sub, err := NewSRBFS(SRBFSConfig{
 			Dial:            ep.Dial,
 			User:            cfg.User,
+			Tenant:          cfg.Tenant,
 			Resource:        cfg.Resource,
 			Streams:         cfg.Streams,
 			StripeSize:      cfg.StripeSize,

@@ -37,6 +37,11 @@ type SRBFSConfig struct {
 	Dial     DialFunc
 	User     string
 	Resource string // server storage resource ("" = server default)
+	// Tenant carries multi-tenant credentials presented on every
+	// handshake (initial dials and stream reconnections alike). The zero
+	// value connects anonymously — refused by servers that require
+	// authentication.
+	Tenant srb.Credentials
 	// Streams is the default number of concurrent TCP streams per open
 	// file handle (>= 1). The per-open hint "streams" overrides it.
 	Streams int
@@ -108,7 +113,7 @@ func (d *SRBFS) Delete(path string) error {
 // failures under the configured policy and installing its per-operation
 // deadline.
 func (d *SRBFS) connect() (*srb.Conn, error) {
-	conn, err := srb.DialRetry(d.cfg.Dial, d.cfg.User, d.cfg.Retry)
+	conn, err := srb.DialRetryAuth(d.cfg.Dial, d.cfg.User, d.cfg.Tenant, d.cfg.Retry)
 	if err != nil {
 		return nil, fmt.Errorf("core: dial SRB server: %w", err)
 	}
@@ -184,7 +189,7 @@ func (d *SRBFS) openStream(path string, flags int) (*srb.Conn, *srb.File, error)
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(d.cfg.Retry.Backoff(i - 1))
+			time.Sleep(d.cfg.Retry.BackoffFor(i-1, lastErr))
 		}
 		conn, err := d.connect()
 		if err != nil {
@@ -333,11 +338,13 @@ func (f *srbFile) doOp(s *stream, write bool, buf []byte, off int64) (int, error
 		if attempt+1 >= pol.MaxAttempts {
 			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
 		}
-		time.Sleep(pol.Backoff(attempt))
-		if errors.Is(err, srb.ErrServerBusy) {
-			// Overload shed: the server is healthy and the connection is
-			// fine (busy is a status reply, not a transport failure), so
-			// retry on the same stream without burning reconnect budget.
+		time.Sleep(pol.BackoffFor(attempt, err))
+		if errors.Is(err, srb.ErrServerBusy) || errors.Is(err, srb.ErrRateLimited) {
+			// Overload or fair-share shed: the server is healthy and the
+			// connection is fine (both are status replies, not transport
+			// failures), so retry on the same stream without burning
+			// reconnect budget. BackoffFor already slept at least the
+			// rate-limit retry-after hint.
 			continue
 		}
 		if rerr := f.recoverStream(s, gen); rerr != nil {
@@ -391,7 +398,7 @@ func (f *srbFile) recoverStream(s *stream, gen int) error {
 	if err != nil {
 		return fmt.Errorf("core: reconnect dial: %w", err)
 	}
-	conn, err := srb.NewConn(raw, f.fs.cfg.User)
+	conn, err := srb.NewConnAuth(raw, f.fs.cfg.User, f.fs.cfg.Tenant)
 	if err != nil {
 		//lint:allow errdrop -- discarding the transport on a failed handshake; that error is returned
 		raw.Close()
@@ -507,8 +514,8 @@ func (f *srbFile) doWritev(s *stream, segs []srb.WriteSeg) (int, error) {
 		if attempt+1 >= pol.MaxAttempts {
 			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
 		}
-		time.Sleep(pol.Backoff(attempt))
-		if errors.Is(err, srb.ErrServerBusy) {
+		time.Sleep(pol.BackoffFor(attempt, err))
+		if errors.Is(err, srb.ErrServerBusy) || errors.Is(err, srb.ErrRateLimited) {
 			continue
 		}
 		if rerr := f.recoverStream(s, gen); rerr != nil {
@@ -612,8 +619,8 @@ func (f *srbFile) doReadv(s *stream, segs []srb.ReadSeg) (int, error) {
 		if attempt+1 >= pol.MaxAttempts {
 			return n, fmt.Errorf("core: giving up after %d attempts: %w", attempt+1, err)
 		}
-		time.Sleep(pol.Backoff(attempt))
-		if errors.Is(err, srb.ErrServerBusy) {
+		time.Sleep(pol.BackoffFor(attempt, err))
+		if errors.Is(err, srb.ErrServerBusy) || errors.Is(err, srb.ErrRateLimited) {
 			continue
 		}
 		if rerr := f.recoverStream(s, gen); rerr != nil {

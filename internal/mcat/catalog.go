@@ -23,6 +23,9 @@ var (
 	ErrNotEmpty   = errors.New("mcat: collection not empty")
 	ErrNoResource = errors.New("mcat: unknown resource")
 	ErrBadPath    = errors.New("mcat: invalid path")
+	// ErrQuotaExceeded refuses a size growth that would push the owning
+	// tenant's total stored bytes over its configured quota.
+	ErrQuotaExceeded = errors.New("mcat: tenant quota exceeded")
 )
 
 // EntryType distinguishes data objects from collections.
@@ -56,6 +59,7 @@ type Entry struct {
 	Modified    time.Time
 	Resource    string // primary resource for files
 	PhysicalKey string // key in the primary resource's store
+	Owner       string // tenant that created the file; "" = unowned/anonymous
 	Attrs       map[string]string
 	Replicas    []Replica
 }
@@ -87,6 +91,15 @@ type Catalog struct {
 	seq       uint64
 	now       func() time.Time
 	journal   Journal // guarded by mu; mutation log, nil = journaling off
+
+	// usage is bytes stored per owner, maintained incrementally by every
+	// size-changing mutation (and by Replay, so it survives crash/restart
+	// through the journaled size records without a journal format change).
+	usage map[string]int64 // guarded by mu
+	// quotas caps usage per owner. Quotas are configuration, not journaled
+	// state: the server re-applies them on startup like resource
+	// registrations.
+	quotas map[string]int64 // guarded by mu
 }
 
 // New returns a catalog containing only the root collection "/".
@@ -95,6 +108,8 @@ func New() *Catalog {
 		entries:   make(map[string]*Entry),
 		resources: make(map[string]ResourceInfo),
 		now:       time.Now,
+		usage:     make(map[string]int64),
+		quotas:    make(map[string]int64),
 	}
 	t := c.now()
 	c.entries["/"] = &Entry{Path: "/", Type: TypeCollection, Created: t, Modified: t}
@@ -138,8 +153,14 @@ func (c *Catalog) HasResource(name string) bool {
 
 // CreateFile registers a new data object at the logical path on the given
 // resource, assigning a fresh physical key. The parent collection must
-// already exist.
+// already exist. The file is unowned (no tenant); see CreateFileAs.
 func (c *Catalog) CreateFile(p, resource string) (*Entry, error) {
+	return c.CreateFileAs(p, resource, "")
+}
+
+// CreateFileAs is CreateFile with an owning tenant: the file's bytes are
+// charged against owner's usage (and quota) as it grows.
+func (c *Catalog) CreateFileAs(p, resource, owner string) (*Entry, error) {
 	p, err := Normalize(p)
 	if err != nil {
 		return nil, err
@@ -164,12 +185,91 @@ func (c *Catalog) CreateFile(p, resource string) (*Entry, error) {
 		Modified:    t,
 		Resource:    resource,
 		PhysicalKey: fmt.Sprintf("obj-%08d", c.seq),
+		Owner:       owner,
 	}
 	c.entries[p] = e
 	c.touchParentLocked(p)
 	c.logLocked(Record{Op: JCreate, Path: p, Resource: resource,
-		Key: e.PhysicalKey, Seq: c.seq, Time: t.UnixNano()})
+		Key: e.PhysicalKey, Seq: c.seq, Time: t.UnixNano(), Owner: owner})
 	return e.clone(), nil
+}
+
+// chargeLocked moves an owner's usage by delta bytes. Unowned entries
+// (owner "") are not tracked.
+func (c *Catalog) chargeLocked(owner string, delta int64) {
+	if owner == "" || delta == 0 {
+		return
+	}
+	//lint:allow guardedfield -- contract: only called with c.mu held
+	usage := c.usage
+	u := usage[owner] + delta
+	if u <= 0 {
+		delete(usage, owner)
+		return
+	}
+	usage[owner] = u
+}
+
+// SetQuota caps owner's stored bytes; zero or negative removes the cap.
+// Quotas are configuration (re-applied on startup), not journaled state.
+func (c *Catalog) SetQuota(owner string, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytes <= 0 {
+		delete(c.quotas, owner)
+		return
+	}
+	c.quotas[owner] = bytes
+}
+
+// Usage reports owner's current stored bytes.
+func (c *Catalog) Usage(owner string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.usage[owner]
+}
+
+// UsageAll snapshots stored bytes for every owner with nonzero usage.
+func (c *Catalog) UsageAll() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.usage))
+	for k, v := range c.usage {
+		out[k] = v
+	}
+	return out
+}
+
+// CheckGrow reports whether growing the file at p to newSize would push
+// its owner over quota (ErrQuotaExceeded). It does not mutate anything:
+// the server pre-checks before committing bytes to storage, so refused
+// writes leave no stored-but-unaccounted data behind.
+func (c *Catalog) CheckGrow(p string, newSize int64) error {
+	p, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[p]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.Type != TypeFile {
+		return ErrIsDir
+	}
+	if e.Owner == "" || newSize <= e.Size {
+		return nil
+	}
+	quota, capped := c.quotas[e.Owner]
+	if !capped {
+		return nil
+	}
+	if c.usage[e.Owner]+(newSize-e.Size) > quota {
+		return fmt.Errorf("%w: tenant %q at %d of %d bytes", ErrQuotaExceeded,
+			e.Owner, c.usage[e.Owner], quota)
+	}
+	return nil
 }
 
 func (c *Catalog) checkParent(p string) error {
@@ -278,6 +378,7 @@ func (c *Catalog) Remove(p string) error {
 	if e.Type == TypeCollection {
 		return ErrIsDir
 	}
+	c.chargeLocked(e.Owner, -e.Size)
 	delete(c.entries, p)
 	c.touchParentLocked(p)
 	c.logLocked(Record{Op: JRemove, Path: p})
@@ -351,6 +452,7 @@ func (c *Catalog) List(p string) ([]*Entry, error) {
 // SetSize records a data object's new size and bumps its mtime.
 func (c *Catalog) SetSize(p string, size int64) error {
 	return c.mutateFile(p, func(e *Entry) *Record {
+		c.chargeLocked(e.Owner, size-e.Size)
 		e.Size = size
 		e.Modified = c.now()
 		return &Record{Op: JSetSize, Size: size, Time: e.Modified.UnixNano()}
@@ -366,6 +468,7 @@ func (c *Catalog) GrowSize(p string, size int64) error {
 			// No growth: don't journal every write of a busy file.
 			return nil
 		}
+		c.chargeLocked(e.Owner, size-e.Size)
 		e.Size = size
 		return &Record{Op: JGrowSize, Size: size, Time: e.Modified.UnixNano()}
 	})

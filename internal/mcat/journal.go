@@ -91,6 +91,7 @@ type Record struct {
 	Time     int64  // mutation time, unix nanoseconds
 	Attr     string // setattr key
 	Value    string // setattr value
+	Owner    string // create: owning tenant ("" = unowned)
 }
 
 // Journal receives every committed catalog mutation, in commit order.
@@ -166,6 +167,9 @@ func EncodeRecord(dst []byte, r Record) []byte {
 	}
 	appendQ("attr", r.Attr)
 	appendQ("val", r.Value)
+	// owner= was added for tenant quotas; pre-tenant readers skip unknown
+	// fields, so old and new journal lines interoperate both ways.
+	appendQ("owner", r.Owner)
 	return append(dst, '\n')
 }
 
@@ -226,6 +230,8 @@ func DecodeRecord(line string) (Record, error) {
 			r.Attr = sval
 		case "val":
 			r.Value = sval
+		case "owner":
+			r.Owner = sval
 		default:
 			// Unknown fields from a newer writer are skipped, not fatal.
 		}
@@ -309,6 +315,12 @@ func (c *Catalog) applyLocked(r Record) {
 			c.seq = r.Seq
 		}
 		c.ensureDirLocked(parentOf(r.Path), t)
+		if old, ok := c.entries[r.Path]; ok && old.Type == TypeFile {
+			// Idempotent re-application (a replayed suffix): the fresh
+			// zero-size entry replaces the old one, so its bytes come off
+			// the owner's usage first.
+			c.chargeLocked(old.Owner, -old.Size)
+		}
 		c.entries[r.Path] = &Entry{
 			Path:        r.Path,
 			Type:        TypeFile,
@@ -316,9 +328,11 @@ func (c *Catalog) applyLocked(r Record) {
 			Modified:    t,
 			Resource:    r.Resource,
 			PhysicalKey: r.Key,
+			Owner:       r.Owner,
 		}
 	case JRemove:
 		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
+			c.chargeLocked(e.Owner, -e.Size)
 			delete(c.entries, r.Path)
 		}
 	case JRmdir:
@@ -336,12 +350,14 @@ func (c *Catalog) applyLocked(r Record) {
 		c.entries[r.Path2] = e
 	case JSetSize:
 		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
+			c.chargeLocked(e.Owner, r.Size-e.Size)
 			e.Size = r.Size
 			e.Modified = t
 		}
 	case JGrowSize:
 		if e, ok := c.entries[r.Path]; ok && e.Type == TypeFile {
 			if r.Size > e.Size {
+				c.chargeLocked(e.Owner, r.Size-e.Size)
 				e.Size = r.Size
 			}
 			e.Modified = t

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"semplar/internal/tenant"
 	"semplar/internal/trace"
 )
 
@@ -66,8 +67,30 @@ func (pc *pendingCall) complete(resp *response, err error) bool {
 	return true
 }
 
-// NewConn performs the connect handshake over an established transport.
+// Credentials identifies a tenant to a multi-tenant server. The key never
+// crosses the wire: the connect handshake carries an HMAC proof computed
+// over (tenant ID, user) under it. The zero value is anonymous — accepted
+// by servers without a tenant registry, refused (statusAuthFailed) by
+// servers with one.
+type Credentials struct {
+	TenantID string
+	Key      []byte
+}
+
+// Anonymous reports whether the credentials are the zero "no tenant" value.
+func (cr Credentials) Anonymous() bool { return cr.TenantID == "" }
+
+// NewConn performs the connect handshake over an established transport,
+// anonymously (no tenant credentials).
 func NewConn(c net.Conn, user string) (*Conn, error) {
+	return NewConnAuth(c, user, Credentials{})
+}
+
+// NewConnAuth performs the connect handshake over an established transport,
+// presenting tenant credentials when cred is non-anonymous. An auth refusal
+// surfaces as terminal ErrAuthFailed and the transport is closed (the
+// server hangs up after refusing anyway).
+func NewConnAuth(c net.Conn, user string, cred Credentials) (*Conn, error) {
 	conn := &Conn{
 		c:       c,
 		user:    user,
@@ -76,7 +99,11 @@ func NewConn(c net.Conn, user string) (*Conn, error) {
 		pending: make(map[uint32]*pendingCall),
 	}
 	go conn.readLoop()
-	resp, err := conn.call(&request{op: opConnect, path: user})
+	connect := &request{op: opConnect, path: user}
+	if !cred.Anonymous() {
+		connect.data = encodeAuth(cred.TenantID, tenant.Proof(cred.Key, cred.TenantID, user))
+	}
+	resp, err := conn.call(connect)
 	if err != nil {
 		//lint:allow errdrop -- discarding the transport on a failed handshake; the handshake error is returned
 		c.Close()
@@ -280,7 +307,7 @@ func (c *Conn) call(req *request) (*response, error) {
 		return nil, pc.err
 	}
 	if pc.resp.status != statusOK {
-		return nil, statusToErr(pc.resp.status, pc.resp.msg)
+		return nil, statusToErr(pc.resp.status, pc.resp.msg, pc.resp.value)
 	}
 	return pc.resp, nil
 }

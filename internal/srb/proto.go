@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Protocol constants.
@@ -154,6 +155,9 @@ const (
 	statusIO
 	statusPerm
 	statusBusy
+	statusAuthFailed
+	statusRateLimited
+	statusQuotaExceeded
 )
 
 // Errors corresponding to the wire status codes.
@@ -175,9 +179,54 @@ var (
 	// other status error it is transient — srb.Retryable classifies it as
 	// retryable, so the client's backoff absorbs shed load transparently.
 	ErrServerBusy = errors.New("srb: server busy")
+
+	// ErrAuthFailed is the terminal handshake refusal: the connect did not
+	// carry a valid tenant proof (missing, unknown tenant, or bad key).
+	// The server closes the connection after sending it, so retrying on
+	// the same credentials can never succeed.
+	ErrAuthFailed = errors.New("srb: authentication failed")
+
+	// ErrRateLimited is the per-tenant fair-share shed: the tenant is over
+	// its token bucket, the request was refused without being started, and
+	// the response carries a retry-after hint. Transient — like
+	// ErrServerBusy, but scoped to one tenant so other tenants keep
+	// flowing. Wrapped as *RateLimitedError when a hint is present.
+	ErrRateLimited = errors.New("srb: tenant rate limited")
+
+	// ErrQuotaExceeded is the terminal storage-quota refusal: the write
+	// would push the tenant's stored bytes over its quota. Retrying cannot
+	// help until the tenant deletes data, so it is classified terminal.
+	ErrQuotaExceeded = errors.New("srb: tenant quota exceeded")
 )
 
-func statusToErr(st int32, msg string) error {
+// RateLimitedError carries the server's retry-after hint alongside
+// ErrRateLimited. errors.Is(err, ErrRateLimited) matches it via Unwrap;
+// RetryPolicy.BackoffFor uses errors.As to honor the hint as a backoff
+// floor.
+type RateLimitedError struct {
+	// RetryAfter is the server's estimate of when the refused request
+	// would fit the tenant's bucket again.
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *RateLimitedError) Error() string {
+	s := ErrRateLimited.Error()
+	if e.msg != "" {
+		s += ": " + e.msg
+	}
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (retry after %v)", e.RetryAfter)
+	}
+	return s
+}
+
+func (e *RateLimitedError) Unwrap() error { return ErrRateLimited }
+
+// statusToErr converts a wire status to an error. value is the response's
+// value field, which statusRateLimited reuses as a retry-after hint in
+// nanoseconds; every other status ignores it.
+func statusToErr(st int32, msg string, value int64) error {
 	var base error
 	switch st {
 	case statusOK:
@@ -202,6 +251,16 @@ func statusToErr(st int32, msg string) error {
 		base = ErrPerm
 	case statusBusy:
 		base = ErrServerBusy
+	case statusAuthFailed:
+		base = ErrAuthFailed
+	case statusRateLimited:
+		var after time.Duration
+		if value > 0 {
+			after = time.Duration(value)
+		}
+		return &RateLimitedError{RetryAfter: after, msg: msg}
+	case statusQuotaExceeded:
+		base = ErrQuotaExceeded
 	default:
 		// Unknown codes (a newer server) degrade to the generic I/O
 		// error. Known codes must be mapped explicitly above — the
@@ -236,6 +295,15 @@ func errToStatus(err error) (int32, string) {
 		return statusPerm, ""
 	case errors.Is(err, ErrServerBusy):
 		return statusBusy, ""
+	case errors.Is(err, ErrAuthFailed):
+		return statusAuthFailed, ""
+	case errors.Is(err, ErrRateLimited):
+		// The retry-after hint travels in the response value field, which
+		// the server's shed path sets directly (see rateLimitedResp);
+		// this mapping covers errors bubbled up from inner layers.
+		return statusRateLimited, ""
+	case errors.Is(err, ErrQuotaExceeded):
+		return statusQuotaExceeded, ""
 	default:
 		return statusIO, err.Error()
 	}
@@ -687,4 +755,63 @@ func takeString(b []byte) (string, []byte, error) {
 		return "", nil, ErrProtocol
 	}
 	return string(b[:n]), b[n:], nil
+}
+
+// Authenticated-handshake blob, carried in opConnect's data field (legacy
+// anonymous connects send no data, so the layout of the fixed request
+// header is unchanged):
+//
+//	tenantLen uint32
+//	tenantID  [tenantLen]byte
+//	proofLen  uint32
+//	proof     [proofLen]byte   // HMAC-SHA256 over (tenantID, user)
+//
+// Both fields are length-framed inside an already length-framed request
+// body, so a malformed blob can fail decoding but can never desync the
+// stream — the server reads exactly dataLen bytes either way.
+const (
+	// maxTenantLen bounds the tenant ID field of an auth blob.
+	maxTenantLen = 256
+	// maxProofLen bounds the key-proof field; large enough for any HMAC
+	// the registry might use (SHA-256 today = 32 bytes).
+	maxProofLen = 64
+)
+
+// encodeAuth serializes a connect auth blob.
+func encodeAuth(tenantID string, proof []byte) []byte {
+	buf := make([]byte, 0, 8+len(tenantID)+len(proof))
+	buf = appendString(buf, tenantID)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(proof)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, proof...)
+}
+
+// decodeAuth parses a connect auth blob. Errors wrap ErrProtocol (framing)
+// or ErrInvalid (bounds); the caller converts either into a terminal auth
+// failure on the wire.
+func decodeAuth(b []byte) (tenantID string, proof []byte, err error) {
+	tenantID, rest, err := takeString(b)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: auth blob tenant id", ErrProtocol)
+	}
+	if len(tenantID) == 0 || len(tenantID) > maxTenantLen {
+		return "", nil, fmt.Errorf("%w: auth tenant id length %d", ErrInvalid, len(tenantID))
+	}
+	if len(rest) < 4 {
+		return "", nil, fmt.Errorf("%w: auth blob truncated before proof", ErrProtocol)
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if n > maxProofLen {
+		return "", nil, fmt.Errorf("%w: auth proof length %d exceeds max %d", ErrInvalid, n, maxProofLen)
+	}
+	if uint32(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: auth proof truncated", ErrProtocol)
+	}
+	if uint32(len(rest)) > n {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes after auth proof", ErrProtocol, uint32(len(rest))-n)
+	}
+	// Copy: the request data buffer is pooled and recycled after dispatch.
+	return tenantID, append([]byte(nil), rest[:n]...), nil
 }

@@ -378,3 +378,67 @@ func TestReadRequestMalformed(t *testing.T) {
 		}
 	})
 }
+
+// FuzzDecodeAuth feeds arbitrary bytes to the connect-handshake auth-blob
+// parser. It must never panic; any accepted blob must satisfy the tenant
+// bounds and survive an encode/re-parse round trip. Because the blob is
+// length-framed inside the (already length-framed) connect body, a
+// malformed blob must yield a status error, never a stream desync — that
+// property is the parser returning an error instead of misreading.
+func FuzzDecodeAuth(f *testing.F) {
+	valid := encodeAuth("acme", bytes.Repeat([]byte{0xAB}, 32))
+	f.Add(valid)
+	f.Add(valid[:3])                        // truncated tenant length
+	f.Add(valid[:7])                        // truncated proof length
+	f.Add(append(bytes.Clone(valid), 0xEE)) // trailing garbage
+	f.Add(encodeAuth("", nil))              // empty tenant ID
+	f.Add(encodeAuth(strings.Repeat("x", maxTenantLen+1), nil))
+	f.Add(encodeAuth("t", make([]byte, maxProofLen+1)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 9, 'a'}) // tenant length beyond the blob
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, proof, err := decodeAuth(data)
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("decodeAuth error %v is neither ErrProtocol nor ErrInvalid", err)
+			}
+			return
+		}
+		if id == "" || len(id) > maxTenantLen {
+			t.Fatalf("accepted tenant ID of %d bytes", len(id))
+		}
+		if len(proof) > maxProofLen {
+			t.Fatalf("accepted proof of %d bytes", len(proof))
+		}
+		again := encodeAuth(id, proof)
+		id2, proof2, err := decodeAuth(again)
+		if err != nil {
+			t.Fatalf("re-parsing a re-encoded auth blob failed: %v", err)
+		}
+		if id2 != id || !bytes.Equal(proof2, proof) {
+			t.Fatalf("auth round trip changed the value: (%q, %x) -> (%q, %x)", id, proof, id2, proof2)
+		}
+	})
+}
+
+// FuzzAuthRoundTrip drives the encoder with arbitrary credentials and
+// checks the decoder returns them exactly (within protocol bounds).
+func FuzzAuthRoundTrip(f *testing.F) {
+	f.Add("acme", []byte{1, 2, 3})
+	f.Add("t", []byte{})
+	f.Add(strings.Repeat("x", maxTenantLen), bytes.Repeat([]byte{9}, maxProofLen))
+
+	f.Fuzz(func(t *testing.T, id string, proof []byte) {
+		if id == "" || len(id) > maxTenantLen || len(proof) > maxProofLen {
+			return // out of contract for the encoder
+		}
+		gotID, gotProof, err := decodeAuth(encodeAuth(id, proof))
+		if err != nil {
+			t.Fatalf("decodeAuth(encodeAuth(%q, %x)) = %v", id, proof, err)
+		}
+		if gotID != id || !bytes.Equal(gotProof, proof) {
+			t.Fatalf("round trip changed the value: (%q, %x) -> (%q, %x)", id, proof, gotID, gotProof)
+		}
+	})
+}

@@ -93,6 +93,20 @@ func (p RetryPolicy) Backoff(retry int) time.Duration {
 	return time.Duration(d)
 }
 
+// BackoffFor returns the sleep before retry number retry (0-based) after
+// err. It is Backoff raised to any server-supplied retry-after floor: when
+// err carries a *RateLimitedError hint, sleeping less than the hint would
+// only buy another shed, so the hint wins over a smaller exponential step
+// (but never shortens a larger one).
+func (p RetryPolicy) BackoffFor(retry int, err error) time.Duration {
+	d := p.Backoff(retry)
+	var rl *RateLimitedError
+	if errors.As(err, &rl) && rl.RetryAfter > d {
+		d = rl.RetryAfter
+	}
+	return d
+}
+
 // retryTransient is the explicit list of errors whose operation can be
 // reissued:
 //
@@ -106,8 +120,13 @@ func (p RetryPolicy) Backoff(retry int) time.Duration {
 //   - ErrConnClosed / ErrServerClosed: the call raced a deliberate local
 //     Close or a server drain; the operation never completed and a replay
 //     elsewhere is safe.
+//   - ErrRateLimited: per-tenant fair-share shedding; like ErrServerBusy
+//     the request was refused before it started, so replay is safe. The
+//     response's retry-after hint is honored as a backoff floor by
+//     RetryPolicy.BackoffFor.
 var retryTransient = []error{
 	ErrServerBusy,
+	ErrRateLimited,
 	ErrTimeout,
 	ErrTransport,
 	ErrConnClosed,
@@ -120,9 +139,13 @@ var retryTransient = []error{
 // transport EOFs are wrapped in ErrTransport and never reach this
 // comparison), and short writes the server acknowledged without error
 // (e.g. a full device), where blind replay would likely loop.
+// ErrAuthFailed is terminal because the server hangs up after sending it
+// and the same credentials will fail the same way; ErrQuotaExceeded because
+// replaying a write cannot shrink the tenant's stored bytes.
 var retryTerminal = []error{
 	ErrNotFound, ErrExists, ErrIsDir, ErrNotDir, ErrBadHandle,
 	ErrInvalid, ErrNotEmpty, ErrPerm, ErrIO, ErrProtocol,
+	ErrAuthFailed, ErrQuotaExceeded,
 	io.EOF, io.ErrShortWrite,
 }
 
@@ -153,10 +176,18 @@ func Retryable(err error) bool {
 	return true
 }
 
-// DialRetry dials and handshakes a connection, retrying transient failures
-// (unreachable server, broken handshake) under the policy. The returned
-// connection has the policy's per-operation deadline installed.
+// DialRetry dials and handshakes an anonymous connection, retrying
+// transient failures (unreachable server, broken handshake) under the
+// policy. The returned connection has the policy's per-operation deadline
+// installed.
 func DialRetry(dial func() (net.Conn, error), user string, pol RetryPolicy) (*Conn, error) {
+	return DialRetryAuth(dial, user, Credentials{}, pol)
+}
+
+// DialRetryAuth is DialRetry with tenant credentials. An auth refusal is
+// terminal and returned immediately — re-dialing with the same bad key
+// would only hammer the server.
+func DialRetryAuth(dial func() (net.Conn, error), user string, cred Credentials, pol RetryPolicy) (*Conn, error) {
 	attempts := pol.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -164,12 +195,12 @@ func DialRetry(dial func() (net.Conn, error), user string, pol RetryPolicy) (*Co
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(pol.Backoff(i - 1))
+			time.Sleep(pol.BackoffFor(i-1, lastErr))
 		}
 		raw, err := dial()
 		if err == nil {
 			var conn *Conn
-			conn, err = NewConn(raw, user)
+			conn, err = NewConnAuth(raw, user, cred)
 			if err == nil {
 				conn.SetOpTimeout(pol.OpTimeout)
 				return conn, nil

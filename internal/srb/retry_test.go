@@ -35,9 +35,20 @@ func TestRetryableClassification(t *testing.T) {
 		// Semantic results, not transport failures.
 		{io.EOF, false},
 		{io.ErrShortWrite, false},
-		// Overload shedding: the one transient status error.
+		// Overload shedding: transient status errors. A rate-limited
+		// tenant retries after the server's hint; busy servers likewise.
 		{ErrServerBusy, true},
 		{fmt.Errorf("wrapped: %w", ErrServerBusy), true},
+		{ErrRateLimited, true},
+		{fmt.Errorf("wrapped: %w", ErrRateLimited), true},
+		{&RateLimitedError{RetryAfter: time.Second}, true},
+		{fmt.Errorf("wrapped: %w", &RateLimitedError{RetryAfter: time.Second}), true},
+		// Tenant-layer verdicts are terminal: retrying cannot mint
+		// credentials or shrink stored bytes.
+		{ErrAuthFailed, false},
+		{fmt.Errorf("wrapped: %w", ErrAuthFailed), false},
+		{ErrQuotaExceeded, false},
+		{fmt.Errorf("wrapped: %w", ErrQuotaExceeded), false},
 		// Transient: transport, timeout, closed conn, unknown net errors.
 		{ErrTransport, true},
 		{ErrTimeout, true},
@@ -76,6 +87,33 @@ func TestBackoffGrowthAndCap(t *testing.T) {
 		if got < 10*time.Millisecond || got > 30*time.Millisecond {
 			t.Fatalf("jittered Backoff(1) = %v outside [10ms, 30ms]", got)
 		}
+	}
+}
+
+func TestBackoffForHonorsRetryAfterFloor(t *testing.T) {
+	pol := RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+		Multiplier:  2,
+	}
+	// No hint: identical to Backoff.
+	if got := pol.BackoffFor(0, ErrServerBusy); got != 10*time.Millisecond {
+		t.Fatalf("BackoffFor without hint = %v, want 10ms", got)
+	}
+	// A retry-after hint above the schedule becomes the floor.
+	hinted := fmt.Errorf("op: %w", &RateLimitedError{RetryAfter: 250 * time.Millisecond})
+	if got := pol.BackoffFor(0, hinted); got != 250*time.Millisecond {
+		t.Fatalf("BackoffFor with 250ms hint = %v, want 250ms", got)
+	}
+	// A hint below the schedule defers to the (larger) backoff.
+	small := &RateLimitedError{RetryAfter: time.Millisecond}
+	if got := pol.BackoffFor(3, small); got != 80*time.Millisecond {
+		t.Fatalf("BackoffFor(3) with 1ms hint = %v, want 80ms", got)
+	}
+	// Non-rate-limit errors never consult a hint.
+	if got := pol.BackoffFor(1, ErrTransport); got != 20*time.Millisecond {
+		t.Fatalf("BackoffFor transport = %v, want 20ms", got)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"semplar/internal/mcat"
 	"semplar/internal/storage"
+	"semplar/internal/tenant"
 	"semplar/internal/trace"
 )
 
@@ -35,6 +36,8 @@ type ServerStats struct {
 	OpenHandles   int64 // file handles currently open across all sessions
 	Shed          int64 // requests refused with ErrServerBusy (overload or drain)
 	Drained       int64 // in-flight ops completed during Shutdown before their conn closed
+	RateLimited   int64 // requests refused with ErrRateLimited (per-tenant fair-share shed)
+	AuthFailed    int64 // handshakes refused with ErrAuthFailed
 }
 
 // Limits bounds server admission. Zero values mean unlimited. Past a
@@ -84,12 +87,36 @@ type Server struct {
 
 	stats ServerStats
 
-	tracer atomic.Pointer[trace.Tracer]
+	tracer  atomic.Pointer[trace.Tracer]
+	tenants atomic.Pointer[tenant.Registry]
 }
 
 // SetLimits configures admission control. Call it before serving: the
 // limits are read without synchronization on the request path.
 func (s *Server) SetLimits(l Limits) { s.limits = l }
+
+// SetTenants attaches a tenant registry, making authentication mandatory:
+// every connect must carry a valid tenant proof or the connection is
+// refused with a terminal auth failure. Tenant storage quotas are pushed
+// into the catalog, keyed by tenant ID (register all tenants before
+// calling). A registry outlives any one Server — sharing it across
+// restarts keeps bucket state and per-tenant counters continuous, so an
+// abusive tenant cannot reset its bucket by crashing the server. nil
+// restores anonymous operation.
+func (s *Server) SetTenants(reg *tenant.Registry) {
+	s.tenants.Store(reg)
+	if reg == nil {
+		return
+	}
+	for _, id := range reg.Names() {
+		if t, ok := reg.Lookup(id); ok {
+			s.cat.SetQuota(id, t.Limits().QuotaBytes)
+		}
+	}
+}
+
+// Tenants returns the attached tenant registry (nil when anonymous).
+func (s *Server) Tenants() *tenant.Registry { return s.tenants.Load() }
 
 // SetTracer records every dispatched request as a span on the server
 // process row of tr (one trace lane per connection) and feeds the
@@ -156,6 +183,8 @@ func (s *Server) Stats() ServerStats {
 		OpenHandles:   atomic.LoadInt64(&s.stats.OpenHandles),
 		Shed:          atomic.LoadInt64(&s.stats.Shed),
 		Drained:       atomic.LoadInt64(&s.stats.Drained),
+		RateLimited:   atomic.LoadInt64(&s.stats.RateLimited),
+		AuthFailed:    atomic.LoadInt64(&s.stats.AuthFailed),
 	}
 }
 
@@ -335,6 +364,52 @@ func (s *Server) countDrained() {
 	s.tracer.Load().Count("srb.server.drained_ops", 1)
 }
 
+// countRateLimited records one request refused by a tenant bucket. Distinct
+// from countShed so global overload and per-tenant fair-share shedding are
+// separable in stats and traces.
+func (s *Server) countRateLimited() {
+	atomic.AddInt64(&s.stats.RateLimited, 1)
+	s.tracer.Load().Count("srb.server.rate_limited_ops", 1)
+}
+
+func (s *Server) countAuthFailed() {
+	atomic.AddInt64(&s.stats.AuthFailed, 1)
+	s.tracer.Load().Count("srb.server.auth_failed", 1)
+}
+
+// rateLimitedResp builds the fair-share shed reply: a retryable status
+// whose value field carries the bucket's retry-after hint in nanoseconds
+// (errResp cannot be used — errToStatus has no channel for the hint).
+func rateLimitedResp(retryAfter time.Duration) *response {
+	return &response{status: statusRateLimited, value: int64(retryAfter)}
+}
+
+// admitTenant charges req against the session tenant's token buckets.
+// Anonymous sessions (no registry attached) are unlimited. The charge is
+// one op plus the request's byte cost: payload bytes carried in (writes)
+// plus bytes requested back (reads), so a tenant's byte bucket meters both
+// directions of its data flow.
+func (s *Server) admitTenant(sess *session, req *request) (bool, *response) {
+	t := sess.tenant
+	if t == nil {
+		return true, nil
+	}
+	reg := s.tenants.Load()
+	if reg == nil {
+		return true, nil
+	}
+	cost := int64(len(req.data))
+	if req.length > 0 {
+		cost += req.length
+	}
+	ok, wait := t.Admit(cost, reg.Now())
+	if ok {
+		return true, nil
+	}
+	s.countRateLimited()
+	return false, rateLimitedResp(wait)
+}
+
 // shedConn answers exactly one request with ErrServerBusy and hangs up:
 // the admission-refused path for connections over MaxConns or arriving
 // during drain. The client sees the busy error on its dial handshake;
@@ -443,6 +518,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 			// backing off.
 			s.countShed()
 			resp = errResp(ErrServerBusy)
+		} else if ok, rlResp := s.admitTenant(sess, req); !ok {
+			// Over the session tenant's token bucket: refuse without
+			// starting the op, carrying the bucket's retry-after hint. The
+			// connection stays open — rate-limited is a status error the
+			// client backs off on, exactly like the global busy shed.
+			resp = rlResp
+			s.releaseOp()
 		} else {
 			// The dispatch span closes before the response is written, so its
 			// events land while the client is still blocked on the reply —
@@ -463,6 +545,14 @@ func (s *Server) ServeConn(conn net.Conn) {
 		err := writeResponse(bw, resp)
 		putBuf(resp.data)
 		if err != nil {
+			return
+		}
+		if resp.status == statusAuthFailed {
+			// Terminal refusal: flush the response and hang up. The client
+			// sees ErrAuthFailed on its handshake (or first op) and never
+			// retries these credentials.
+			//lint:allow errdrop -- the refused conn closes right after; the flush error has no consumer
+			bw.Flush()
 			return
 		}
 		if len(reqCh) > 0 {
@@ -499,9 +589,18 @@ type openFile struct {
 }
 
 type session struct {
-	srv   *Server
-	files map[int32]*openFile
-	user  string
+	srv    *Server
+	files  map[int32]*openFile
+	user   string
+	tenant *tenant.Tenant // non-nil once an authenticated connect succeeds
+}
+
+// owner is the catalog ownership label for files this session creates.
+func (ss *session) owner() string {
+	if ss.tenant != nil {
+		return ss.tenant.ID
+	}
+	return ""
 }
 
 // closeAll releases every handle the client left open — the abrupt-
@@ -517,10 +616,16 @@ func (ss *session) closeAll() {
 }
 
 func (ss *session) dispatch(req *request) *response {
+	// With a tenant registry attached, nothing but the connect handshake is
+	// served to an unauthenticated session — a client skipping the
+	// handshake gets the same terminal refusal a bad proof gets.
+	if req.op != opConnect && ss.tenant == nil && ss.srv.tenants.Load() != nil {
+		ss.srv.countAuthFailed()
+		return &response{status: statusAuthFailed, msg: "authentication required"}
+	}
 	switch req.op {
 	case opConnect:
-		ss.user = req.path
-		return &response{value: protoVer, msg: "SRB-Go/1 ready"}
+		return ss.connect(req)
 	case opPing:
 		return &response{value: time.Now().UnixNano()}
 	case opOpen:
@@ -570,6 +675,38 @@ func (ss *session) dispatch(req *request) *response {
 	}
 }
 
+// connect serves the handshake. Anonymous servers (no registry) keep the
+// legacy behavior: any connect succeeds, auth blobs are ignored. With a
+// registry attached, the connect data must decode to a (tenant ID, proof)
+// pair that verifies; every failure mode — missing blob, malformed blob,
+// unknown tenant, bad proof — returns the same terminal status with a
+// generic message, so the handshake cannot be used to probe which tenant
+// IDs exist. ServeConn hangs up after writing a statusAuthFailed response.
+func (ss *session) connect(req *request) *response {
+	ss.user = req.path
+	reg := ss.srv.tenants.Load()
+	if reg == nil {
+		return &response{value: protoVer, msg: "SRB-Go/1 ready"}
+	}
+	refuse := func() *response {
+		ss.srv.countAuthFailed()
+		return &response{status: statusAuthFailed, msg: "invalid tenant credentials"}
+	}
+	if len(req.data) == 0 {
+		return refuse()
+	}
+	id, proof, err := decodeAuth(req.data)
+	if err != nil {
+		return refuse()
+	}
+	t, err := reg.Authenticate(id, req.path, proof)
+	if err != nil {
+		return refuse()
+	}
+	ss.tenant = t
+	return &response{value: protoVer, msg: "SRB-Go/1 ready"}
+}
+
 func errResp(err error) *response {
 	st, msg := errToStatus(err)
 	return &response{status: st, msg: msg}
@@ -592,6 +729,9 @@ func mapCatErr(err error) error {
 	case mcat.ErrBadPath, mcat.ErrNoResource:
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	default:
+		if errors.Is(err, mcat.ErrQuotaExceeded) {
+			return fmt.Errorf("%w: %v", ErrQuotaExceeded, err)
+		}
 		return err
 	}
 }
@@ -653,7 +793,7 @@ func (ss *session) open(req *request) *response {
 			return errResp(ErrExists)
 		}
 	case err == mcat.ErrNotFound && flags&O_CREATE != 0:
-		e, err = s.cat.CreateFile(req.path, resource)
+		e, err = s.cat.CreateFileAs(req.path, resource, ss.owner())
 		if err != nil {
 			return errResp(mapCatErr(err))
 		}
@@ -763,6 +903,11 @@ func (ss *session) write(req *request) *response {
 			off = sz
 		}
 	}
+	// Quota pre-check before the bytes reach storage: a refused write must
+	// leave no stored-but-unaccounted data behind.
+	if err := ss.srv.cat.CheckGrow(f.path, off+int64(len(req.data))); err != nil {
+		return errResp(mapCatErr(err))
+	}
 	n, err := f.obj.WriteAt(req.data, off)
 	if err != nil {
 		return errResp(fmt.Errorf("%w: %v", ErrIO, err))
@@ -791,6 +936,17 @@ func (ss *session) writev(req *request) *response {
 	segs, err := decodeWritev(req.data)
 	if err != nil {
 		return errResp(err)
+	}
+	var maxEnd int64
+	for _, sg := range segs {
+		if end := sg.off + int64(len(sg.data)); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	// One pre-check for the vector's furthest extent: all-or-nothing
+	// against quota, before any segment reaches storage.
+	if err := ss.srv.cat.CheckGrow(f.path, maxEnd); err != nil {
+		return errResp(mapCatErr(err))
 	}
 	var total int64
 	for _, sg := range segs {
@@ -924,6 +1080,11 @@ func (ss *session) truncate(req *request) *response {
 	f, er := ss.lookupHandle(req.handle)
 	if er != nil {
 		return er
+	}
+	// Truncating up materializes a hole the catalog accounts as stored
+	// bytes, so it passes the same quota gate as a write.
+	if err := ss.srv.cat.CheckGrow(f.path, req.length); err != nil {
+		return errResp(mapCatErr(err))
 	}
 	if err := f.obj.Truncate(req.length); err != nil {
 		return errResp(fmt.Errorf("%w: %v", ErrIO, err))

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"semplar/internal/netsim"
 	"semplar/internal/storage"
@@ -542,10 +543,11 @@ func TestResponseSeqMismatch(t *testing.T) {
 func TestStatusErrorMapping(t *testing.T) {
 	// Every status code round-trips err -> status -> err.
 	errs := []error{ErrNotFound, ErrExists, ErrIsDir, ErrNotDir,
-		ErrBadHandle, ErrInvalid, ErrNotEmpty, ErrPerm, ErrServerBusy}
+		ErrBadHandle, ErrInvalid, ErrNotEmpty, ErrPerm, ErrServerBusy,
+		ErrAuthFailed, ErrRateLimited, ErrQuotaExceeded}
 	for _, e := range errs {
 		st, msg := errToStatus(e)
-		back := statusToErr(st, msg)
+		back := statusToErr(st, msg, 0)
 		if !errors.Is(back, e) {
 			t.Errorf("%v -> %d -> %v", e, st, back)
 		}
@@ -553,11 +555,20 @@ func TestStatusErrorMapping(t *testing.T) {
 	if st, msg := errToStatus(errors.New("weird io thing")); st != statusIO || msg == "" {
 		t.Errorf("opaque error -> %d %q", st, msg)
 	}
-	if statusToErr(statusOK, "") != nil {
+	if statusToErr(statusOK, "", 0) != nil {
 		t.Error("ok status mapped to error")
 	}
-	if err := statusToErr(statusIO, "disk on fire"); err == nil ||
+	if err := statusToErr(statusIO, "disk on fire", 0); err == nil ||
 		!strings.Contains(err.Error(), "disk on fire") {
 		t.Errorf("message lost: %v", err)
+	}
+	// statusRateLimited decodes the value field as a retry-after hint.
+	err := statusToErr(statusRateLimited, "", int64(250*time.Millisecond))
+	var rl *RateLimitedError
+	if !errors.As(err, &rl) || rl.RetryAfter != 250*time.Millisecond {
+		t.Errorf("rate-limited hint lost: %v", err)
+	}
+	if !errors.Is(err, ErrRateLimited) {
+		t.Errorf("RateLimitedError does not unwrap to ErrRateLimited: %v", err)
 	}
 }

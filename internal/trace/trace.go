@@ -96,8 +96,9 @@ type counter struct {
 // Tracer records events, counters and histograms. All methods are safe
 // for concurrent use and safe on a nil receiver (no-ops).
 type Tracer struct {
-	clock Clock // immutable after New/NewWith
-	seq   atomic.Int64
+	clock       Clock // immutable after New/NewWith
+	metricsOnly bool  // immutable; drop span/instant events, keep counters
+	seq         atomic.Int64
 
 	mu     sync.Mutex
 	events []event             // guarded by mu
@@ -107,6 +108,17 @@ type Tracer struct {
 
 // New returns a Tracer on the wall clock.
 func New() *Tracer { return NewWith(WallClock()) }
+
+// NewMetricsOnly returns a wall-clock Tracer that keeps counters, gauges
+// and histograms but discards span and instant events. Events accumulate
+// without bound on a recording tracer, so this is the variant a
+// long-running daemon attaches for a metrics endpoint: O(1) memory per
+// metric name, no per-request growth.
+func NewMetricsOnly() *Tracer {
+	t := NewWith(WallClock())
+	t.metricsOnly = true
+	return t
+}
 
 // NewWith returns a Tracer reading timestamps from clock.
 func NewWith(clock Clock) *Tracer {
@@ -196,6 +208,9 @@ func (t *Tracer) Instant(cat, name string, tid int64, args ...Arg) {
 }
 
 func (t *Tracer) append(e event) {
+	if t.metricsOnly {
+		return
+	}
 	t.mu.Lock()
 	t.events = append(t.events, e)
 	t.mu.Unlock()

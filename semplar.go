@@ -60,6 +60,11 @@ func DefaultRetryPolicy() RetryPolicy { return srb.DefaultRetryPolicy() }
 // reconnects, replayed operations and the remaining reconnect budget.
 type FaultStats = core.FaultStats
 
+// Credentials identify a tenant to a multi-tenant server: a tenant ID and
+// the shared key whose HMAC proof is presented on every handshake. The key
+// itself never crosses the wire. The zero value connects anonymously.
+type Credentials = srb.Credentials
+
 // Tracer records end-to-end request traces and metrics: per-request
 // lifecycle spans (queued → run → wire), queue-depth and in-flight gauges,
 // per-stream byte counters and latency histograms. Export the result with
@@ -74,6 +79,10 @@ func NewTracer() *Tracer { return trace.New() }
 type Options struct {
 	// User identifies the client to the server (default "semplar").
 	User string
+	// Tenant presents multi-tenant credentials on every handshake. Leave
+	// zero for servers without authentication; servers with a tenant
+	// registry refuse anonymous connections terminally (ErrAuthFailed).
+	Tenant Credentials
 	// Resource selects the server storage resource ("" = default).
 	Resource string
 	// Streams is the default number of concurrent TCP streams per open
@@ -128,6 +137,7 @@ func NewClient(dial DialFunc, opts Options) (*Client, error) {
 	fs, err := core.NewSRBFS(core.SRBFSConfig{
 		Dial:            dial,
 		User:            opts.User,
+		Tenant:          opts.Tenant,
 		Resource:        opts.Resource,
 		Streams:         opts.Streams,
 		StripeSize:      opts.StripeSize,
@@ -185,7 +195,7 @@ func (c *Client) OpenWith(path string, flags int, oo OpenOptions) (*File, error)
 // retry policy so metadata operations survive transient dial failures just
 // like the data streams do.
 func (c *Client) admin() (*srb.Conn, error) {
-	return srb.DialRetry(c.dial, c.opts.User, c.opts.Retry)
+	return srb.DialRetryAuth(c.dial, c.opts.User, c.opts.Tenant, c.opts.Retry)
 }
 
 // Remove deletes a remote file.
